@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-verbose examples fast-test all
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+fast-test:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-verbose:  ## prints every paper-vs-measured table
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/waveform_reconfiguration.py
+	$(PYTHON) examples/mftdma_network.py
+	$(PYTHON) examples/policy_reconfiguration.py
+	$(PYTHON) examples/mission_lifetime.py
+	$(PYTHON) examples/adaptive_fade.py
+	$(PYTHON) examples/decoder_tradeoffs.py --fast
+	$(PYTHON) examples/seu_campaign.py
+	$(PYTHON) examples/protocol_comparison.py
+
+all: test bench

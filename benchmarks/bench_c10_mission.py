@@ -1,0 +1,118 @@
+"""C10 (extension) -- the paper's motivation quantified: mission lifetime.
+
+The introduction argues that standards/services evolve faster than a
+satellite's lifetime, so the payload must be reconfigurable.  This
+ablation runs the traffic-driven mission plan against (a) the SDR
+payload and (b) an ASIC payload, and checks the S-UMTS rate arithmetic
+of §2.3 (144/384 kbps CDMA, 2 Mbps TDMA goal, compatible clocks).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core.sumts import (
+    cdma_user_rate,
+    check_mode_compatibility,
+    sf_for_user_rate,
+    tdma_link_rate,
+)
+from repro.fpga import Mh1rtAsic
+from repro.ncc import MissionPlanner, TrafficModel
+
+
+def test_traffic_forecast_matches_intro(benchmark):
+    """'voice ... less than 20% of the global traffic' within a few years."""
+
+    def run():
+        model = TrafficModel()
+        rows = []
+        for year in (0, 2, 5, 10, 15):
+            mix = model.mix_at(float(year))
+            rows.append((year, mix.voice, mix.text, mix.video, mix.total_mbps))
+        return rows, model.years_until_voice_below(0.2)
+
+    rows, crossing = benchmark(run)
+    print_table(
+        "intro traffic forecast",
+        ["year", "voice", "text", "video", "total Mbps"],
+        [[y, f"{v:.0%}", f"{t:.0%}", f"{vid:.0%}", f"{tot:.1f}"]
+         for y, v, t, vid, tot in rows],
+    )
+    print(f"voice < 20% at year {crossing:.1f}")
+    assert 2.0 < crossing < 10.0
+    assert rows[0][1] > 0.5  # launch: voice-dominated
+    assert rows[-1][3] > 0.7  # end of life: video-dominated
+
+
+def test_mission_plan_needs_both_reconfigurations(benchmark):
+    def run():
+        return MissionPlanner(TrafficModel(), mission_years=15.0).schedule()
+
+    plan = benchmark(run)
+    print_table(
+        "traffic-driven reconfiguration plan",
+        ["year", "equipment", "function", "reason"],
+        [[f"{c.year:.0f}", c.equipment, c.function, c.reason[:48]] for c in plan],
+    )
+    functions = {c.function for c in plan}
+    assert "modem.tdma" in functions  # the Fig. 3 waveform change
+    assert functions & {"decod.conv", "decod.turbo"}  # the decoder change
+    assert all(c.year <= 15.0 for c in plan)
+
+
+def test_asic_payload_strands(benchmark):
+    """The counterfactual: every planned change fails on an ASIC."""
+
+    def run():
+        plan = MissionPlanner(TrafficModel()).schedule()
+        asic = Mh1rtAsic("modem.cdma")
+        failures = 0
+        for _change in plan:
+            with pytest.raises(NotImplementedError):
+                asic.reconfigure()
+            failures += 1
+        return len(plan), failures
+
+    planned, failed = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nASIC payload: {failed}/{planned} planned changes impossible "
+          f"(function frozen at fabrication)")
+    assert planned >= 2
+    assert failed == planned
+
+
+def test_sumts_rate_arithmetic(benchmark):
+    """§2.3's numbers: 2.048 Mcps, 144/384 kbps CDMA, 2 Mbps TDMA goal."""
+
+    def run():
+        sf144 = sf_for_user_rate(144e3)
+        sf384 = sf_for_user_rate(384e3)
+        return {
+            "sf144": (sf144, cdma_user_rate(sf144)),
+            "sf384": (sf384, cdma_user_rate(sf384)),
+            "cdma_ceiling": cdma_user_rate(1),
+            "tdma": tdma_link_rate(),
+            "compat": check_mode_compatibility(),
+        }
+
+    out = benchmark(run)
+    print_table(
+        "§2.3 S-UMTS rate arithmetic (2.048 Mcps)",
+        ["mode", "config", "rate"],
+        [
+            ["CDMA 144k service", f"SF {out['sf144'][0]}",
+             f"{out['sf144'][1]/1e3:.0f} kbps"],
+            ["CDMA 384k service", f"SF {out['sf384'][0]}",
+             f"{out['sf384'][1]/1e3:.0f} kbps"],
+            ["CDMA ceiling", "SF 1", f"{out['cdma_ceiling']/1e3:.0f} kbps"],
+            ["TDMA (same bandwidth)", "2.048 Msym/s QPSK r=3/4",
+             f"{out['tdma']/1e6:.2f} Mbps"],
+        ],
+    )
+    compat = out["compat"]
+    print(f"front-end clocks: CDMA {compat.cdma_sample_rate/1e6:.3f} MHz == "
+          f"TDMA {compat.tdma_sample_rate/1e6:.3f} MHz -> "
+          f"'working frequencies fully compatible': {compat.compatible}")
+    assert out["sf144"][1] >= 144e3
+    assert out["sf384"][1] >= 384e3
+    assert out["cdma_ceiling"] < 2e6 <= out["tdma"]
+    assert compat.compatible

@@ -1,0 +1,141 @@
+"""C3 -- §3.1 reconfiguration sequence: timing budget and rollback.
+
+Times each of the five steps (switch-off, memory->FPGA load, CRC
+telemetry, switch-on), measures the service-outage window, verifies the
+CRC telemetry and exercises rollback on a corrupted load, plus the
+on-board-library trade-off the paper mentions (memory cost vs transfer
+time saved).
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.core import (
+    BitstreamLibrary,
+    ReconfigurationManager,
+    default_registry,
+)
+from repro.core.equipment import ReconfigurableEquipment
+from repro.fpga import Fpga
+
+GEOM = (16, 16, 64)
+
+
+def _stack():
+    registry = default_registry()
+    fpga = Fpga(rows=GEOM[0], cols=GEOM[1], bits_per_clb=GEOM[2],
+                config_write_rate=10e6)
+    eq = ReconfigurableEquipment("demod0", fpga, registry, "modem")
+    lib = BitstreamLibrary()
+    for name in ("modem.cdma", "modem.tdma"):
+        lib.store(registry.get(name).bitstream_for(*GEOM))
+    eq.load("modem.cdma")
+    return registry, eq, lib
+
+
+def test_sequence_step_budget(benchmark):
+    def run():
+        _reg, eq, lib = _stack()
+        mgr = ReconfigurationManager(lib)
+        return mgr.execute(eq, "modem.tdma")
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[s.step, f"{s.duration * 1e3:.2f} ms", s.detail[:48]] for s in report.steps]
+    print_table("§3.1 sequence: per-step time budget", ["step", "duration", "detail"], rows)
+    print(f"service outage: {report.outage_seconds * 1e3:.2f} ms "
+          f"(the paper: 'this scenario authorizes services interruption')")
+    assert report.success
+    assert [s.step for s in report.steps] == [
+        "switch-off", "fetch-from-memory", "configure-fpga", "switch-on", "crc-auto-test",
+    ]
+    assert report.outage_seconds < 1.0  # on-board steps are sub-second
+
+
+def test_crc_telemetry_attests_configuration(benchmark):
+    def run():
+        _reg, eq, lib = _stack()
+        mgr = ReconfigurationManager(lib)
+        report = mgr.execute(eq, "modem.tdma")
+        return report.crc_telemetry, lib.fetch("modem.tdma").crc32()
+
+    live, expected = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nCRC telemetry 0x{live:08x} == uploaded image 0x{expected:08x}")
+    assert live == expected
+
+
+def test_rollback_on_corrupted_load(benchmark):
+    """'the system should be able to come back to the previous
+    configuration in case of failure of the process'."""
+
+    def run():
+        _reg, eq, lib = _stack()
+        mgr = ReconfigurationManager(lib)
+        report = mgr.execute(
+            eq, "modem.tdma",
+            corrupt_hook=lambda fpga: fpga.upset_bits(np.arange(25)),
+        )
+        return report, eq.loaded_design, eq.operational
+
+    report, final, operational = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nvalidation FAILED -> rolled back to {final!r}, service restored: {operational}")
+    assert not report.success
+    assert report.rolled_back
+    assert final == "modem.cdma"
+    assert operational
+
+
+def test_onboard_library_tradeoff(benchmark):
+    """§3.2: the library saves upload time but 'requires a lot of
+    available memory on-board'."""
+
+    def run():
+        registry = default_registry()
+        lib = BitstreamLibrary()
+        sizes = {}
+        for name in registry.names():
+            bs = registry.get(name).bitstream_for(*GEOM)
+            lib.store(bs)
+            sizes[name] = len(bs.to_bytes())
+        # upload time saved per cached design at a 1 Mbps TC link
+        saved = {n: 8.0 * s / 1e6 + 0.5 for n, s in sizes.items()}
+        return lib.bytes_used, sizes, saved
+
+    used, sizes, saved = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n, f"{sizes[n]:,} B", f"{saved[n]:.2f} s"]
+        for n in sorted(sizes)
+    ]
+    print_table(
+        "§3.2 on-board library: memory cost vs re-upload time saved (1 Mbps)",
+        ["design", "stored bytes", "upload saved"],
+        rows,
+    )
+    print(f"total on-board memory used: {used:,} bytes for {len(sizes)} designs")
+    assert used > 5 * min(sizes.values())  # the memory cost is real
+
+
+def test_config_port_rate_scaling(benchmark):
+    """Faster configuration ports shrink the outage (design knob)."""
+
+    def run():
+        registry = default_registry()
+        rows = []
+        for rate in (1e6, 10e6, 66e6):
+            fpga = Fpga(rows=GEOM[0], cols=GEOM[1], bits_per_clb=GEOM[2],
+                        config_write_rate=rate)
+            eq = ReconfigurableEquipment("d", fpga, registry, "modem")
+            lib = BitstreamLibrary()
+            lib.store(registry.get("modem.tdma").bitstream_for(*GEOM))
+            mgr = ReconfigurationManager(lib)
+            report = mgr.execute(eq, "modem.tdma")
+            rows.append((rate, report.outage_seconds))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "ablation: outage vs configuration-port rate",
+        ["port rate", "outage"],
+        [[f"{r/1e6:.0f} Mbps", f"{o*1e3:.2f} ms"] for r, o in rows],
+    )
+    outages = [o for _r, o in rows]
+    assert outages[0] > outages[1] > outages[2]

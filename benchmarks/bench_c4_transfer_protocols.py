@@ -1,0 +1,202 @@
+"""C4 -- §3.3 transfer protocols over the GEO link.
+
+The paper's guidance, reproduced quantitatively:
+
+- TFTP "sends just one block up to 512 bytes and then stops until the
+  reception of the acknowledgement [so] it has to be used only for
+  small transfer";
+- "For large transfer, FTP protocol, or SCPS-FP ... may be employed";
+- TM/TC express (BD) mode for small question/response tests, controlled
+  (AD) mode for reliable configuration data.
+
+Sweeps file size x protocol and measures transfer time, locating the
+small/large crossover.
+"""
+
+import numpy as np
+
+from conftest import geo_pair, print_table
+from repro.net import (
+    FtpClient,
+    FtpServer,
+    ScpsFpReceiver,
+    ScpsFpSender,
+    TftpClient,
+    TftpServer,
+)
+from repro.net.tmtc import TmtcLayer
+from repro.sim import RngRegistry
+
+RATE = 1e6
+
+
+def _transfer(protocol: str, size: int) -> float:
+    sim, ground, space, _link = geo_pair(rate=RATE)
+    blob = bytes(size)
+    done = {}
+    store = {}
+    if protocol == "tftp":
+        TftpServer(space.ip, store)
+
+        def cli(sim):
+            c = TftpClient(ground.ip, 2)
+            yield from c.write("f", blob)
+            done["t"] = sim.now
+
+    elif protocol == "ftp":
+        FtpServer(space.ip, store)
+
+        def cli(sim):
+            c = FtpClient(ground.ip, 2)
+            yield from c.put("f", blob)
+            done["t"] = sim.now
+
+    else:
+        ScpsFpReceiver(space.ip, files=store)
+
+        def cli(sim):
+            s = ScpsFpSender(ground.ip, 2, rate_bps=RATE)
+            yield from s.put("f", blob)
+            done["t"] = sim.now
+
+    sim.process(cli(sim))
+    sim.run(until=7200)
+    return done.get("t", float("nan"))
+
+
+def test_transfer_time_vs_size(benchmark):
+    sizes = [1 << 10, 8 << 10, 64 << 10, 256 << 10]
+
+    def run():
+        return {
+            p: [_transfer(p, s) for s in sizes] for p in ("tftp", "ftp", "scps")
+        }
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"{s >> 10} kB"] + [f"{table[p][i]:.2f} s" for p in ("tftp", "ftp", "scps")]
+        for i, s in enumerate(sizes)
+    ]
+    print_table("§3.3: upload time, GEO link @ 1 Mbps", ["size", "tftp", "ftp", "scps"], rows)
+
+    tftp, ftp, scps = table["tftp"], table["ftp"], table["scps"]
+    # small files: TFTP acceptable (within ~2x of FTP)
+    assert tftp[0] < 3 * ftp[0]
+    # large files: TFTP collapses (paper's conclusion), >10x slower
+    assert tftp[-1] > 10 * ftp[-1]
+    # TFTP time is stop-and-wait bound: ~one RTT per 512-byte block
+    blocks = sizes[-1] / 512
+    assert 0.4 * blocks * 0.5 < tftp[-1] < 1.3 * blocks * 0.5
+    # the open-loop SCPS-FP is the fastest at large sizes
+    assert scps[-1] < ftp[-1]
+
+
+def test_tftp_throughput_ceiling(benchmark):
+    """Stop-and-wait ceiling: 512 B per RTT regardless of link rate."""
+
+    def run():
+        out = []
+        for rate in (1e5, 1e6, 1e7):
+            sim, ground, space, _ = geo_pair(rate=rate)
+            store = {}
+            TftpServer(space.ip, store)
+            done = {}
+
+            def cli(sim):
+                c = TftpClient(ground.ip, 2)
+                yield from c.write("f", bytes(16 << 10))
+                done["t"] = sim.now
+
+            sim.process(cli(sim))
+            sim.run(until=3600)
+            out.append((rate, (16 << 10) / done["t"]))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "TFTP goodput vs link rate (16 kB file)",
+        ["link rate", "goodput"],
+        [[f"{r/1e6:g} Mbps", f"{g:,.0f} B/s"] for r, g in rows],
+    )
+    goodputs = [g for _r, g in rows]
+    # raising the link rate 100x buys < 35% goodput: RTT-bound
+    assert goodputs[-1] < 1.35 * goodputs[0]
+    assert all(g < 1200 for g in goodputs)  # ~512B / 0.5s ~ 1 kB/s ceiling
+
+
+def test_tcp_window_scaling_rfc2488(benchmark):
+    """RFC 2488: throughput over GEO is window/RTT; big windows matter."""
+    from repro.net import TcpConnection, TcpListener
+
+    def run():
+        out = []
+        for window in (8_192, 32_768, 131_072):
+            sim, ground, space, _ = geo_pair(rate=1e7)
+            payload = bytes(256 << 10)
+            done = {}
+
+            def srv(sim):
+                lst = TcpListener(space.ip, 2100, window=window)
+                conn = yield lst.accept()
+                got = 0
+                while True:
+                    chunk = yield conn.recv()
+                    if chunk is None:
+                        break
+                    got += len(chunk)
+                done["ok"] = got == len(payload)
+                done["t"] = sim.now
+
+            def cli(sim):
+                conn = TcpConnection(
+                    ground.ip, 41000, 2, 2100, window=window, slow_start=False
+                )
+                yield conn.connect()
+                conn.send(payload)
+                conn.close()
+                yield conn.wait_closed()
+
+            sim.process(srv(sim))
+            sim.process(cli(sim))
+            sim.run(until=3600)
+            out.append((window, len(payload) / done["t"]))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "RFC 2488 window effect (256 kB, GEO, 10 Mbps)",
+        ["window", "goodput"],
+        [[f"{w >> 10} kB", f"{g/1e3:,.1f} kB/s"] for w, g in rows],
+    )
+    goodputs = [g for _w, g in rows]
+    assert goodputs[2] > 2 * goodputs[0]
+
+
+def test_express_vs_controlled_tmtc(benchmark):
+    """N1 modes: BD is one-shot (fast, unreliable); AD retransmits."""
+
+    def run():
+        out = {}
+        for mode in ("BD", "AD"):
+            rng = RngRegistry(4).stream(f"link-{mode}")
+            sim, ground, space, link = geo_pair(rate=1e6, ber=8e-5, rng=rng)
+            tg = TmtcLayer(ground, rto=0.8)
+            ts = TmtcLayer(space, rto=0.8)
+            got = []
+            ts.register_handler(0, got.append)
+            sdu = bytes(4096)
+            tg.send_sdu(sdu, vc=0, mode=mode)
+            sim.run(until=120)
+            out[mode] = (got == [sdu], link.stats["dropped"],
+                         tg._senders[0].retransmissions if mode == "AD" else 0)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "TM/TC modes over a lossy TC link (4 kB SDU, BER 8e-5)",
+        ["mode", "delivered", "frames dropped", "retransmissions"],
+        [["express (BD)", *map(str, out["BD"])], ["controlled (AD)", *map(str, out["AD"])]],
+    )
+    assert out["AD"][0] is True  # controlled mode always delivers
+    assert out["BD"][0] is False  # express mode lost the big SDU
+    assert out["AD"][2] > 0

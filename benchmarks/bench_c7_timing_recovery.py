@@ -1,0 +1,120 @@
+"""C7 -- §2.3 timing-recovery algorithm selection ([5] vs [6]).
+
+The paper: "the timing recovery can be either the detector detailed in
+[5] (Gardner) or the estimator of [6] (Oerder&Meyr) depending on the
+stream to be demodulated (length of the bursts in the TDMA frame)".
+
+Measures timing RMSE and demodulated EVM of both algorithms vs burst
+length and Eb/N0, reproducing the selection rule: feedforward for short
+bursts (no acquisition transient), feedback loop for long streams.
+"""
+
+import numpy as np
+from scipy.signal import fftconvolve
+
+from conftest import print_table
+from repro.dsp.channel import apply_delay, awgn
+from repro.dsp.filters import srrc, upsample
+from repro.dsp.modem import PskModem, ebn0_to_sigma
+from repro.dsp.timing import GardnerLoop, oerder_meyr_recover
+from repro.sim import RngRegistry
+
+SPS = 4
+
+
+def _burst(nsym, tau, ebn0_db, rng):
+    m = PskModem(4)
+    bits = rng.integers(0, 2, nsym * 2).astype(np.uint8)
+    sym = m.modulate(bits)
+    pulse = srrc(0.35, SPS, 10)
+    x = fftconvolve(upsample(sym, SPS), pulse, mode="full")
+    x = apply_delay(x, tau)
+    if np.isfinite(ebn0_db):
+        x = awgn(x, ebn0_to_sigma(ebn0_db, 2) / np.sqrt(SPS), rng)
+    return fftconvolve(x, pulse[::-1], mode="full"), sym
+
+
+def _evm(recovered, skip):
+    m = PskModem(4)
+    core = recovered[skip:-skip] if skip else recovered
+    d = np.abs(core[:, None] - m.points[None, :]).min(axis=1)
+    return float(np.sqrt(np.mean(d**2)))
+
+
+def test_om_estimator_accuracy_vs_ebn0(benchmark, rng_registry):
+    def run():
+        rows = []
+        for ebn0 in (20.0, 10.0, 6.0):
+            errs = []
+            for trial in range(12):
+                tau = 0.3 + 0.25 * trial % SPS
+                y, _ = _burst(256, tau, ebn0, rng_registry.stream(f"om{ebn0}-{trial}"))
+                _, est = oerder_meyr_recover(y, SPS)
+                err = (est - tau + SPS / 2) % SPS - SPS / 2
+                errs.append(err)
+            rows.append((ebn0, float(np.sqrt(np.mean(np.square(errs))))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "[6] Oerder&Meyr: timing RMSE vs Eb/N0 (256-symbol bursts)",
+        ["Eb/N0", "RMSE (samples)"],
+        [[f"{e:g} dB", f"{r:.4f}"] for e, r in rows],
+    )
+    rmse = [r for _e, r in rows]
+    assert rmse[0] < 0.1
+    assert rmse[-1] >= rmse[0]  # degrades with noise
+
+
+def test_short_burst_favors_feedforward(benchmark, rng_registry):
+    """The paper's selection rule, measured: on short bursts the
+    feedforward estimator wins (the Gardner loop wastes the burst on
+    acquisition); on long bursts both work."""
+
+    def run():
+        rows = []
+        for nsym in (128, 512, 2048):
+            y, _ = _burst(nsym, 1.4, 15.0, rng_registry.stream(f"n{nsym}"))
+            om_syms, _ = oerder_meyr_recover(y, SPS)
+            om_evm = _evm(om_syms, 12)
+            loop = GardnerLoop(sps=SPS, bn_ts=0.01)
+            g_syms = loop.process(y)
+            # Gardner needs its acquisition transient
+            g_evm_all = _evm(g_syms, 12)
+            g_evm_settled = _evm(g_syms[min(300, nsym // 2):], 12)
+            rows.append((nsym, om_evm, g_evm_all, g_evm_settled))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "burst length vs algorithm ([5] Gardner, [6] O&M), EVM",
+        ["burst (sym)", "O&M", "Gardner(whole)", "Gardner(settled)"],
+        [[n, f"{a:.3f}", f"{b:.3f}", f"{c:.3f}"] for n, a, b, c in rows],
+    )
+    # short burst: feedforward clearly better over the whole burst
+    assert rows[0][1] < rows[0][2]
+    # long burst: the settled Gardner loop is competitive (within 2x)
+    assert rows[-1][3] < 2.0 * rows[-1][1] + 0.02
+
+
+def test_gardner_acquisition_transient(benchmark, rng_registry):
+    """Quantify the loop transient the selection rule is about."""
+
+    def run():
+        y, _ = _burst(3000, 1.9, 18.0, rng_registry.stream("trans"))
+        loop = GardnerLoop(sps=SPS, bn_ts=0.01)
+        loop.process(y)
+        tau = np.asarray(loop.tau_history)
+        final = float(np.median(tau[-300:]))
+        # settle = last time the timing phase was > 0.25 samples away
+        # from its converged value
+        wrapped = (tau - final + SPS / 2) % SPS - SPS / 2
+        far = np.nonzero(np.abs(wrapped) > 0.25)[0]
+        settled = int(far[-1]) + 1 if len(far) else 0
+        return settled, final
+
+    settled, final = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nGardner loop (Bn*Ts=0.01): ~{settled} symbols to settle "
+          f"(converged timing phase {final:.3f} samples) "
+          f"-> unusable for short TDMA bursts")
+    assert 10 < settled < 2500

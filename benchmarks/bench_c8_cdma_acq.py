@@ -1,0 +1,119 @@
+"""C8 -- §2.3 CDMA modem algorithms ([7] acquisition, [8] DLL).
+
+Measures the acquisition detector's ROC (detection / false-alarm vs
+threshold), the mean-acquisition-time model, and the DLL's tracking
+behaviour -- the blocks that make the CDMA demodulator bigger than the
+TDMA one.
+"""
+
+import numpy as np
+from scipy.signal import fftconvolve
+
+from conftest import print_table
+from repro.dsp.cdma import (
+    CdmaConfig,
+    Dll,
+    acquire,
+    mean_acquisition_time,
+    spread,
+)
+from repro.dsp.filters import srrc, upsample
+from repro.sim import RngRegistry
+
+SF = 64
+
+
+def _rx_chips(code, nsym, phase, sigma, rng):
+    sym = np.exp(1j * rng.uniform(0, 2 * np.pi, nsym))
+    chips = np.roll(spread(sym, code.astype(float)), phase)
+    noise = sigma * (rng.standard_normal(len(chips)) + 1j * rng.standard_normal(len(chips)))
+    return chips + noise
+
+
+def test_acquisition_roc(benchmark, rng_registry):
+    code = CdmaConfig(sf=SF).spreading_code()
+    trials = 60
+
+    def run():
+        rows = []
+        for thr in (2.0, 3.0, 5.0, 8.0):
+            pd = pfa = 0
+            for t in range(trials):
+                rng = rng_registry.stream(f"acq{thr}-{t}")
+                rx = _rx_chips(code, 8, t % SF, 0.8, rng)
+                res = acquire(rx, code, threshold=thr, coherent_symbols=8)
+                if res.detected and res.phase == t % SF:
+                    pd += 1
+                noise = 0.8 * (
+                    rng.standard_normal(SF * 8) + 1j * rng.standard_normal(SF * 8)
+                )
+                if acquire(noise, code, threshold=thr, coherent_symbols=8).detected:
+                    pfa += 1
+            rows.append((thr, pd / trials, pfa / trials))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "[7] acquisition ROC (SF=64, 8 periods, chip SNR ~ -1 dB)",
+        ["threshold", "Pd", "Pfa"],
+        [[f"{t:g}", f"{pd:.2f}", f"{pf:.2f}"] for t, pd, pf in rows],
+    )
+    pds = [pd for _t, pd, _ in rows]
+    pfas = [pf for _t, _pd, pf in rows]
+    assert pds[0] >= pds[-1]  # raising the threshold loses detections
+    assert pfas[0] >= pfas[-1]  # ...and false alarms
+    assert pds[1] > 0.9  # the operating point works
+    assert pfas[2] < 0.1
+
+
+def test_mean_acquisition_time_model(benchmark):
+    """Serial-search time: grows with cells and worsens with low Pd."""
+
+    def run():
+        rows = []
+        for cells, pd, pfa in ((64, 0.99, 1e-3), (256, 0.99, 1e-3),
+                               (256, 0.7, 1e-3), (256, 0.99, 0.05)):
+            t = mean_acquisition_time(pd, pfa, cells, dwell=1e-3, penalty=1e-2)
+            rows.append((cells, pd, pfa, t))
+        return rows
+
+    rows = benchmark(run)
+    print_table(
+        "mean acquisition time (single-dwell serial search)",
+        ["cells", "Pd", "Pfa", "T_acq"],
+        [[c, p, f, f"{t*1e3:.1f} ms"] for c, p, f, t in rows],
+    )
+    assert rows[1][3] > rows[0][3]  # more cells -> slower
+    assert rows[2][3] > rows[1][3]  # lower Pd -> slower
+    assert rows[3][3] > rows[1][3]  # false alarms -> slower
+
+
+def test_dll_tracking_jitter(benchmark, rng_registry):
+    """[8]: the DLL pulls in a half-chip offset and tracks with small
+    residual jitter."""
+    cfg = CdmaConfig(sf=32)
+    code = cfg.spreading_code()
+    sps = cfg.chip_sps
+    pulse = srrc(cfg.beta, sps, cfg.span)
+
+    def run():
+        rng = rng_registry.stream("dll")
+        nsym = 400
+        sym = np.exp(1j * (np.pi / 4 + np.pi / 2 * rng.integers(0, 4, nsym)))
+        chips = spread(sym, code)
+        x = fftconvolve(upsample(chips, sps), pulse, mode="full")
+        x += 0.05 * (rng.standard_normal(len(x)) + 1j * rng.standard_normal(len(x)))
+        mf = fftconvolve(x, pulse[::-1], mode="full")
+        gd = len(pulse) - 1
+        dll = Dll(code, sps=sps, gain=0.15)
+        dll.process(mf, float(gd) - sps / 2, nsym)  # half-chip early
+        tau = np.asarray(dll.tau_history)
+        return tau
+
+    tau = benchmark.pedantic(run, rounds=1, iterations=1)
+    pull_in = float(tau[-1])
+    jitter = float(np.std(tau[-100:]))
+    print(f"\nDLL: pulled in {pull_in:.2f} samples (target {SF and 2.0}),"
+          f" steady jitter {jitter:.3f} samples")
+    assert abs(pull_in - 2.0) < 0.6
+    assert jitter < 0.3

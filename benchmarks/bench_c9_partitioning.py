@@ -1,0 +1,145 @@
+"""C9 -- §4.4 payload partitioning strategies.
+
+The paper compares three realizations: all three equipments (demux,
+modem, decoder) on a single chip; one chip per equipment; one chip per
+modem function -- and notes that without partial reconfiguration "only
+a global reload is possible", so the partitioning determines the blast
+radius of a reconfiguration.
+
+The benchmark measures, for each strategy: gates to reload, outage
+scope (which functions stop), and reload time.
+"""
+
+from conftest import print_table
+from repro.core import BitstreamLibrary, ReconfigurationManager, default_registry
+from repro.core.equipment import ReconfigurableEquipment
+from repro.fpga import Fpga
+from repro.fpga.gates import (
+    cdma_demodulator_gates,
+    tdma_timing_recovery_gates,
+    viterbi_decoder_gates,
+)
+
+GEOM = (16, 16, 64)
+
+
+def test_partitioning_strategies(benchmark):
+    """Reload scope/time per strategy for the Fig.-3 waveform change."""
+    modem_gates = max(cdma_demodulator_gates(), tdma_timing_recovery_gates())
+    demux_gates = 80_000.0
+    decod_gates = viterbi_decoder_gates()
+
+    def run():
+        rows = []
+        # strategy A: one chip hosting demux+modem+decod -> reload all
+        total_a = demux_gates + modem_gates + decod_gates
+        bits_a = GEOM[0] * GEOM[1] * GEOM[2] * 3  # proportionally larger image
+        rows.append(("single chip", total_a, "demux+modem+decod", bits_a / 10e6))
+        # strategy B: chip per equipment -> reload the modem chip only
+        bits_b = GEOM[0] * GEOM[1] * GEOM[2]
+        rows.append(("chip per equipment", modem_gates, "modem only", bits_b / 10e6))
+        # strategy C: chip per modem function -> reload only the swapped
+        # blocks (acquisition+tracking+despreader ~ 60% of the modem)
+        rows.append(("chip per function", 0.6 * modem_gates, "sync blocks only",
+                     0.6 * bits_b / 10e6))
+        return rows
+
+    rows = benchmark(run)
+    print_table(
+        "§4.4 partitioning: reconfiguration blast radius",
+        ["strategy", "gates reloaded", "services interrupted", "reload time"],
+        [[n, f"{g:,.0f}", s, f"{t*1e3:.1f} ms"] for n, g, s, t in rows],
+    )
+    gates = [g for _n, g, _s, _t in rows]
+    assert gates[0] > gates[1] > gates[2]
+
+
+def test_global_reload_constraint(benchmark):
+    """'major FPGAs are not partially configurable and only a global
+    reload is possible' -- measure the penalty."""
+    registry = default_registry()
+
+    def run():
+        out = {}
+        for partial in (True, False):
+            fpga = Fpga(rows=GEOM[0], cols=GEOM[1], bits_per_clb=GEOM[2],
+                        supports_partial=partial, config_write_rate=10e6)
+            eq = ReconfigurableEquipment("demod0", fpga, registry, "modem")
+            lib = BitstreamLibrary()
+            for name in ("modem.cdma", "modem.tdma"):
+                lib.store(registry.get(name).bitstream_for(*GEOM))
+            eq.load("modem.cdma")
+            mgr = ReconfigurationManager(lib)
+            report = mgr.execute(eq, "modem.tdma")
+            out[partial] = (report.success, report.outage_seconds, fpga.supports_partial)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "global-reload-only devices still reconfigure (with full outage)",
+        ["partial reconfig", "swap ok", "outage"],
+        [[str(k), str(v[0]), f"{v[1]*1e3:.2f} ms"] for k, v in out.items()],
+    )
+    # the waveform swap works either way: it is a full reload by design
+    assert out[True][0] and out[False][0]
+
+
+def test_partial_region_swap_vs_global_reload(benchmark):
+    """Measured: the chip-per-function strategy with partial
+    reconfiguration swaps in-service and faster than a global reload."""
+    registry = default_registry()
+
+    def run():
+        fpga = Fpga(rows=GEOM[0], cols=GEOM[1], bits_per_clb=GEOM[2],
+                    config_write_rate=10e6)
+        eq = ReconfigurableEquipment("demod0", fpga, registry, "modem")
+        eq.load("modem.cdma")
+        # region swap: only the sync half of the grid
+        t_region = eq.load_region("modem.tdma", 0, 0, GEOM[0] // 2, GEOM[1])
+        on_during_swap = str(fpga.power.value)
+        # full reload for comparison
+        lib = BitstreamLibrary()
+        lib.store(registry.get("modem.cdma").bitstream_for(*GEOM))
+        mgr = ReconfigurationManager(lib)
+        report = mgr.execute(eq, "modem.cdma")
+        return t_region, on_during_swap, report.outage_seconds
+
+    t_region, power, outage = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "§4.4 partial region swap vs global reload (measured)",
+        ["method", "time", "device state"],
+        [
+            ["partial region (half grid)", f"{t_region*1e3:.2f} ms", power],
+            ["global reload (§3.1 outage)", f"{outage*1e3:.2f} ms", "off during load"],
+        ],
+    )
+    assert power == "on"  # service never interrupted for the region swap
+    assert t_region < outage
+
+
+def test_interface_constraints_enforced(benchmark):
+    """'common interfaces with the chips located before and after' --
+    the slot-kind check refuses cross-kind loads."""
+    registry = default_registry()
+
+    def run():
+        fpga = Fpga(rows=GEOM[0], cols=GEOM[1], bits_per_clb=GEOM[2])
+        eq = ReconfigurableEquipment("demod0", fpga, registry, "modem")
+        from repro.core.equipment import EquipmentError
+
+        refused = 0
+        for bad in ("decod.none", "decod.conv", "decod.turbo"):
+            try:
+                eq.check_design(bad)
+            except EquipmentError:
+                refused += 1
+        accepted = 0
+        for good in ("modem.cdma", "modem.tdma"):
+            eq.check_design(good)
+            accepted += 1
+        return refused, accepted
+
+    refused, accepted = benchmark(run)
+    print(f"\ninterface check: {refused}/3 decoder designs refused in a modem "
+          f"slot, {accepted}/2 modem designs accepted")
+    assert refused == 3 and accepted == 2

@@ -1,0 +1,89 @@
+"""Performance benchmarks of the DSP/coding hot paths.
+
+Not a paper experiment -- these time the vectorized kernels that every
+other benchmark leans on, so throughput regressions are visible.  (The
+HPC guidance: measure, don't guess.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding import TurboCode, UMTS_RATE_13
+from repro.dsp.cdma import CdmaConfig, CdmaModem
+from repro.dsp.demux import PolyphaseChannelizer
+from repro.dsp.filters import FirFilter, design_lowpass
+from repro.dsp.tdma import TdmaModem
+from repro.dsp.timing import oerder_meyr_recover
+from repro.sim import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return RngRegistry(99).stream("perf")
+
+
+def test_fir_throughput(benchmark, rng):
+    x = rng.standard_normal(1 << 16) + 1j * rng.standard_normal(1 << 16)
+    fir = FirFilter(design_lowpass(127, 0.2))
+    y = benchmark(lambda: fir(x))
+    assert len(y) == len(x)
+    benchmark.extra_info["samples"] = len(x)
+
+
+def test_channelizer_throughput(benchmark, rng):
+    m = 8
+    pc = PolyphaseChannelizer(m, taps_per_branch=16)
+    x = rng.standard_normal(m * 8192) + 1j * rng.standard_normal(m * 8192)
+    y = benchmark(lambda: pc.process(x))
+    assert y.shape == (m, 8192)
+    benchmark.extra_info["samples"] = len(x)
+
+
+def test_tdma_receive_throughput(benchmark, rng):
+    tm = TdmaModem()
+    bits = rng.integers(0, 2, tm.bits_per_burst).astype(np.uint8)
+    burst = tm.transmit(bits)
+    out = benchmark(lambda: tm.receive(burst))
+    assert np.array_equal(out["bits"], bits)
+    benchmark.extra_info["burst_samples"] = len(burst)
+
+
+def test_cdma_receive_throughput(benchmark, rng):
+    cm = CdmaModem(CdmaConfig(sf=16))
+    bits = rng.integers(0, 2, 128).astype(np.uint8)
+    burst = cm.transmit(bits)
+    out = benchmark(lambda: cm.receive(burst, 128))
+    assert np.array_equal(out["bits"], bits)
+
+
+def test_oerder_meyr_throughput(benchmark, rng):
+    from scipy.signal import fftconvolve
+
+    from repro.dsp.filters import srrc, upsample
+    from repro.dsp.modem import PskModem
+
+    m = PskModem(4)
+    sym = m.modulate(rng.integers(0, 2, 2048).astype(np.uint8))
+    pulse = srrc(0.35, 4, 10)
+    x = fftconvolve(upsample(sym, 4), pulse, mode="full")
+    y = fftconvolve(x, pulse[::-1], mode="full")
+    out, _tau = benchmark(lambda: oerder_meyr_recover(y, 4))
+    assert len(out) > 1000
+
+
+def test_viterbi_throughput(benchmark, rng):
+    nbits = 1000
+    bits = rng.integers(0, 2, nbits).astype(np.uint8)
+    llr = (1.0 - 2.0 * UMTS_RATE_13.encode(bits)) * 4.0
+    out = benchmark(lambda: UMTS_RATE_13.decode(llr, nbits, soft=True))
+    assert np.array_equal(out, bits)
+    benchmark.extra_info["bits"] = nbits
+
+
+def test_turbo_throughput(benchmark, rng):
+    tc = TurboCode(1000, iterations=4)
+    bits = rng.integers(0, 2, 1000).astype(np.uint8)
+    llr = (1.0 - 2.0 * tc.encode(bits)) * 4.0
+    out = benchmark.pedantic(lambda: tc.decode(llr), rounds=2, iterations=1)
+    assert np.array_equal(out, bits)
+    benchmark.extra_info["bits"] = 1000

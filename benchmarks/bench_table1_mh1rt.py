@@ -1,0 +1,63 @@
+"""T1 -- Table 1: MH1RT characteristics.
+
+Regenerates the paper's only table from the ASIC model and checks that
+the radiation-environment model independently reproduces the table's
+GEO SEU rate of 1e-7 err/bit/day.
+"""
+
+import numpy as np
+
+from conftest import print_table
+from repro.fpga import MH1RT
+from repro.fpga.asic import MH1RT_018, MH1RT_025
+from repro.radiation import GEO, RadiationEnvironment, SolarActivity
+
+
+def test_table1_characteristics(benchmark):
+    def run():
+        return MH1RT.table_row()
+
+    row = benchmark(run)
+    print_table(
+        "Table 1: MH1RT characteristics (paper vs model)",
+        ["characteristic", "paper", "model"],
+        [
+            ["Number of gates", "1.2 million", row["Number of gates"]],
+            ["Voltage", "2.5 to 5V", row["Voltage"]],
+            ["TID", "200 Krads", row["TID"]],
+            ["SEU for GEO sat.", "1e-7 err/bit/day", row["SEU for GEO sat."]],
+        ],
+    )
+    assert row["Number of gates"] == 1_200_000
+    assert row["TID"] == "200 Krads"
+    assert row["SEU for GEO sat."] == 1e-7
+
+
+def test_environment_model_matches_table1_seu(benchmark):
+    """The environment model (belts+GCR+flares) sums to the table rate."""
+
+    def run():
+        return RadiationEnvironment(
+            orbit=GEO, activity=SolarActivity.NOMINAL
+        ).seu_rate_per_bit_day()
+
+    rate = benchmark(run)
+    print(f"\nenvironment-derived GEO SEU rate: {rate:.3e} /bit/day (paper: 1e-7)")
+    assert np.isclose(rate, 1e-7, rtol=1e-6)
+
+
+def test_shrink_projection(benchmark):
+    """§4.1: 0.25/0.18um parts reach 300 krad TID at constant SEU."""
+
+    def run():
+        return [(d.feature_size_um, d.tid_tolerance_krad, d.seu_rate_geo_per_bit_day)
+                for d in (MH1RT, MH1RT_025, MH1RT_018)]
+
+    rows = benchmark(run)
+    print_table(
+        "§4.1 shrink projection",
+        ["feature um", "TID krad", "SEU /bit/day"],
+        rows,
+    )
+    assert rows[1][1] == 300.0 and rows[2][1] == 300.0
+    assert rows[0][2] == rows[1][2] == rows[2][2]

@@ -1,0 +1,44 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one table/figure/claim of the paper (see
+DESIGN.md §4 for the index).  Benchmarks print the paper-vs-measured
+rows so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+experiment log, and assert the qualitative *shape* the paper claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net import Link, Node
+from repro.sim import RngRegistry, Simulator
+
+
+@pytest.fixture
+def rng_registry():
+    """A fresh deterministic RNG registry per benchmark."""
+    return RngRegistry(seed=2003)
+
+
+def geo_pair(delay=0.25, rate=1e6, ber=0.0, rng=None):
+    """A simulator with NCC and satellite nodes joined by a GEO link."""
+    sim = Simulator()
+    ground = Node(sim, "ncc", 1)
+    space = Node(sim, "sat", 2)
+    link = Link(sim, delay=delay, rate_bps=rate, ber=ber, rng=rng)
+    link.attach(ground)
+    link.attach(space)
+    return sim, ground, space, link
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Render a compact experiment table to stdout."""
+    print(f"\n== {title}")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = " | ".join(str(h).rjust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(str(c).rjust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Adaptive coding against Ka-band rain fades.
+
+The paper's uplink sits "around 30 GHz", where rain attenuation
+dominates the link budget.  A software-radio payload can *adapt*: when
+the fade deepens, the satellite requests a policy decision over COPS
+and swaps its decoder personality to the turbo code; when the sky
+clears it swaps back to the high-rate uncoded chain.  A fixed ASIC
+payload would have to carry the worst-case code forever.
+
+Run:  python examples/adaptive_fade.py
+"""
+
+from repro.core import PayloadConfig, RegenerativePayload
+from repro.dsp.channel import RainFadeProcess
+from repro.ncc import PolicyDrivenSatellite, ReconfigurationPolicyServer
+from repro.net import Link, Node
+from repro.sim import RngRegistry, Simulator
+
+GEOM = (8, 8, 32)
+STEP = 120.0  # weather sampling cadence, seconds
+
+
+def main() -> None:
+    sim = Simulator()
+    reg = RngRegistry(seed=30)
+    ground = Node(sim, "ncc", 1)
+    space = Node(sim, "sat", 2)
+    link = Link(sim, delay=0.25, rate_bps=1e6)
+    link.attach(ground)
+    link.attach(space)
+
+    payload = RegenerativePayload(
+        PayloadConfig(num_carriers=1, fpga_rows=GEOM[0], fpga_cols=GEOM[1],
+                      fpga_bits_per_clb=GEOM[2])
+    )
+    payload.boot(decoder="decod.none")
+    for name in ("decod.none", "decod.turbo"):
+        payload.obc.library.store(payload.registry.get(name).bitstream_for(*GEOM))
+
+    pdp = ReconfigurationPolicyServer(ground)
+    pdp.set_policy("decod0", "rain-fade", "decod.turbo")
+    pdp.set_policy("decod0", "clear-sky", "decod.none")
+    pep = PolicyDrivenSatellite(space, payload.obc, pdp_address=1)
+
+    fade = RainFadeProcess(reg.stream("rain"), availability=0.8,
+                           mean_event_minutes=25.0)
+    log = []
+
+    def weather_loop(sim):
+        yield from pep.start()
+        deep = False
+        for _ in range(720):  # one day at 2-minute cadence
+            yield sim.timeout(STEP)
+            fade.advance(STEP)
+            att = fade.attenuation_db()
+            if att > 3.0 and not deep:
+                deep = True
+                yield from pep.request_policy("decod0", "rain-fade")
+                log.append((sim.now, att, payload.decoder.loaded_design))
+            elif att <= 3.0 and deep:
+                deep = False
+                yield from pep.request_policy("decod0", "clear-sky")
+                log.append((sim.now, att, payload.decoder.loaded_design))
+
+    sim.process(weather_loop(sim))
+    sim.run(until=720 * STEP + 120)
+
+    print("one simulated day of Ka-band weather (fade threshold 3 dB):\n")
+    print(f"{'time':>9} | {'fade':>7} | decoder after policy")
+    print("-" * 44)
+    for t, att, design in log:
+        print(f"{t/3600:7.2f} h | {att:5.1f} dB | {design}")
+    rates = {
+        "decod.none": payload.registry.get("decod.none").factory().effective_rate,
+        "decod.turbo": payload.registry.get("decod.turbo").factory().effective_rate,
+    }
+    print(f"\nrain events: {fade.events}; policy decisions: "
+          f"{pdp.decisions_issued}; all reports ok: "
+          f"{all(r.success for r in pdp.reports)}")
+    print(f"rate traded per fade: {rates['decod.none']:.2f} -> "
+          f"{rates['decod.turbo']:.2f} info bits/channel bit "
+          "(robustness when it rains, throughput when it doesn't)")
+
+
+if __name__ == "__main__":
+    main()

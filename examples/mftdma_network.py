@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""An MF-TDMA access network over the regenerative payload.
+
+Builds the paper's 6-carrier x 8-slot MF-TDMA grid (Fig. 2's access
+scheme), assigns user terminals to slots, transmits a frame's worth of
+bursts, and runs every occupied slot through the payload's per-carrier
+demodulators -- the "network view" of the reproduction, including
+per-terminal BER and grid utilization.
+
+Run:  python examples/mftdma_network.py
+"""
+
+import numpy as np
+
+from repro.core import PayloadConfig, RegenerativePayload
+from repro.dsp.channel import SatelliteChannel
+from repro.dsp.tdma import FramePlan
+from repro.sim import RngRegistry
+
+
+def main() -> None:
+    rng = RngRegistry(seed=6)
+
+    payload = RegenerativePayload(PayloadConfig(num_carriers=6))
+    payload.boot()
+    plan = FramePlan(num_carriers=6, slots_per_frame=8, frame_duration=0.024)
+
+    # a dozen terminals ask for capacity; first-fit slot assignment
+    terminals = [f"UT-{i:02d}" for i in range(12)]
+    for i, t in enumerate(terminals):
+        plan.assign(t, carrier=i % 6, slot=i // 6)
+    print(f"frame plan: {plan.num_carriers} carriers x {plan.slots_per_frame} slots, "
+          f"{plan.frame_duration * 1e3:.0f} ms frame "
+          f"({plan.slot_duration * 1e3:.1f} ms slots)")
+    print(f"utilization: {plan.utilization():.1%}\n")
+
+    # transmit one frame: each occupied slot carries one burst
+    modems = [eq.behaviour() for eq in payload.demods]
+    results = []
+    for slot in range(plan.slots_per_frame):
+        # all carriers of one slot form a multiplex processed together
+        tx_bits = []
+        occupants = []
+        for carrier in range(plan.num_carriers):
+            who = plan.occupant(carrier, slot)
+            occupants.append(who)
+            nbits = modems[carrier].bits_per_burst
+            if who is None:
+                tx_bits.append(np.zeros(nbits, dtype=np.uint8))
+            else:
+                tx_bits.append(
+                    rng.stream(f"{who}-s{slot}").integers(0, 2, nbits).astype(np.uint8)
+                )
+        if not any(occupants):
+            continue
+        wide = payload.build_uplink(tx_bits)
+        channel = SatelliteChannel(
+            snr_sigma=0.25, phase=0.2, rng=rng.stream(f"noise-s{slot}")
+        )
+        out = payload.process_uplink(channel.apply(wide))
+        for carrier, who in enumerate(occupants):
+            if who is None:
+                continue
+            ber = float(np.mean(out["bits"][carrier] != tx_bits[carrier]))
+            diag = out["diagnostics"][carrier]
+            results.append((who, carrier, slot, ber, diag.get("uw_metric", 0.0)))
+
+    print(f"{'terminal':>8} | carrier | slot | {'BER':>9} | UW")
+    print("-" * 44)
+    for who, carrier, slot, ber, uw in results:
+        print(f"{who:>8} |    {carrier}    |  {slot}   | {ber:9.2e} | {uw:.3f}")
+
+    total_bits = sum(m.bits_per_burst for m in modems) * 2
+    frame_rate = 1.0 / plan.frame_duration
+    print(f"\naggregate (at {plan.utilization():.0%} fill): "
+          f"{len(results)} bursts/frame, "
+          f"{total_bits * frame_rate / 1e3:.0f} kbit/s demodulated on-board")
+    print("the regenerative payload demodulates every burst at the satellite, "
+          "so each downlink beam gets clean, re-encoded packets (Fig. 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""COPS-driven reconfiguration policies (paper §3.3).
+
+The NCC runs a policy decision point (PDP); the satellite's
+reconfiguration manager is the policy enforcement point (PEP).  Shows
+both COPS initiatives from the paper: the satellite *requesting* a
+policy when it observes a trigger, and the NCC *pushing* an unsolicited
+decision -- each enforced through the on-board controller with a report
+flowing back.
+
+Run:  python examples/policy_reconfiguration.py
+"""
+
+from repro.core import PayloadConfig, RegenerativePayload
+from repro.ncc import PolicyDrivenSatellite, ReconfigurationPolicyServer
+from repro.net import Link, Node
+from repro.sim import Simulator
+
+GEOM = (8, 8, 32)
+
+
+def main() -> None:
+    sim = Simulator()
+    ground = Node(sim, "ncc", 1)
+    space = Node(sim, "sat", 2)
+    link = Link(sim, delay=0.25, rate_bps=1e6)
+    link.attach(ground)
+    link.attach(space)
+
+    payload = RegenerativePayload(
+        PayloadConfig(num_carriers=2, fpga_rows=GEOM[0], fpga_cols=GEOM[1],
+                      fpga_bits_per_clb=GEOM[2])
+    )
+    payload.boot(modem="modem.cdma")
+    for name in ("modem.cdma", "modem.tdma"):
+        payload.obc.library.store(payload.registry.get(name).bitstream_for(*GEOM))
+
+    pdp = ReconfigurationPolicyServer(ground)
+    pdp.set_policy("demod0", "traffic-growth", "modem.tdma")
+    pep = PolicyDrivenSatellite(space, payload.obc, pdp_address=1)
+
+    def satellite_side(sim):
+        yield from pep.start()
+        print(f"t={sim.now:6.2f}s  PEP session open (satellite -> NCC PDP)")
+        # client initiative: the satellite observes rising traffic
+        yield sim.timeout(2.0)
+        print(f"t={sim.now:6.2f}s  trigger 'traffic-growth' on demod0 -> REQ")
+        report = yield from pep.request_policy("demod0", "traffic-growth")
+        print(f"t={sim.now:6.2f}s  decision enforced: {report.detail}")
+
+    def ncc_side(sim):
+        # server initiative: the NCC later re-points demod1 too
+        yield sim.timeout(10.0)
+        print(f"t={sim.now:6.2f}s  NCC pushes: demod1 -> modem.tdma")
+        pdp.push(2, "demod1", "modem.tdma")
+
+    sim.process(satellite_side(sim))
+    sim.process(ncc_side(sim))
+    sim.run(until=60)
+
+    print(f"\nfinal state: demod0={payload.demods[0].loaded_design}, "
+          f"demod1={payload.demods[1].loaded_design}")
+    print(f"PDP issued {pdp.decisions_issued} decisions, "
+          f"received {len(pdp.reports)} reports "
+          f"({sum(r.success for r in pdp.reports)} successful)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: build and run the paper's MF-TDMA regenerative payload.
+
+Builds the Fig. 2 receive chain with the paper's sizing (6 carriers),
+pushes one burst per carrier through ADC -> channelizer -> per-carrier
+TDMA demodulator, decodes a transport block through the UMTS decoder
+personality, and routes the regenerated packets through the baseband
+switch.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import PayloadConfig, RegenerativePayload, Telecommand
+from repro.dsp.channel import SatelliteChannel
+from repro.dsp.modem import ebn0_to_sigma
+from repro.sim import RngRegistry
+
+
+def main() -> None:
+    rng = RngRegistry(seed=2003)
+
+    # --- the paper's payload: 6 carriers, FPGA-hosted demods/decoder ----
+    payload = RegenerativePayload(PayloadConfig(num_carriers=6))
+    payload.boot(modem="modem.tdma", decoder="decod.conv")
+    print("payload booted:")
+    for eq in payload.demods:
+        print(f"  {eq.name}: {eq.loaded_design} on {eq.fpga.name}")
+    print(f"  decod0: {payload.decoder.loaded_design}\n")
+
+    # --- uplink: one burst per carrier through a noisy channel ------------
+    modems = [eq.behaviour() for eq in payload.demods]
+    tx_bits = [
+        rng.stream(f"carrier{k}").integers(0, 2, m.bits_per_burst).astype(np.uint8)
+        for k, m in enumerate(modems)
+    ]
+    wideband = payload.build_uplink(tx_bits)
+    channel = SatelliteChannel(
+        snr_sigma=ebn0_to_sigma(11.0, 2) / np.sqrt(modems[0].sps * 6),
+        phase=0.4,
+        rng=rng.stream("uplink-noise"),
+    )
+    out = payload.process_uplink(channel.apply(wideband))
+
+    print("per-carrier demodulation (Fig. 2 Rx chain):")
+    for k in range(6):
+        ber = float(np.mean(out["bits"][k] != tx_bits[k]))
+        d = out["diagnostics"][k]
+        print(
+            f"  carrier {k}: BER={ber:.2e}  UW metric={d['uw_metric']:.3f} "
+            f" timing={d['timing_mode']}"
+        )
+
+    # --- decode a transport block with the UMTS personality ----------------
+    chain = payload.decoder.behaviour()
+    data = rng.stream("tb").integers(0, 2, chain.transport_block).astype(np.uint8)
+    llr = (1.0 - 2.0 * chain.encode(data)) * 4.0
+    decoded = payload.decode_block(llr)
+    print(
+        f"\ndecoder ({payload.decoder.loaded_design}): "
+        f"CRC {'OK' if decoded['crc_ok'] else 'FAIL'}, "
+        f"{np.count_nonzero(decoded['bits'] != data)} bit errors"
+    )
+
+    # --- regenerative packet switching ----------------------------------------
+    packets = [bytes([k % 4]) + f"packet-{k}".encode() for k in range(12)]
+    routed = payload.route_packets(packets)
+    print(
+        f"\npacket switch: routed={routed['routed']} dropped={routed['dropped']}"
+    )
+    for port in range(payload.switch.num_ports):
+        queued = payload.switch.drain(port)
+        print(f"  downlink port {port}: {len(queued)} packets")
+
+    # --- a telecommand, as the platform would relay it (Fig. 1) ------------
+    tm = payload.obc.execute(Telecommand(1, "status"))
+    print(f"\nstatus TM: all operational = {payload.operational}")
+    print(f"  demod0 state: {tm.payload['demod0']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""GEO radiation campaign: comparing the paper's SEU mitigations (§4.3).
+
+Simulates a year in GEO (accelerated device susceptibility so effects
+are visible) and compares configuration integrity and service
+availability under four policies: none, readback+repair, blind
+scrubbing and TMR.
+
+Run:  python examples/seu_campaign.py
+"""
+
+import numpy as np
+
+from repro.fpga import (
+    BlindScrubber,
+    Bitstream,
+    Fpga,
+    ReadbackScrubber,
+    SeuInjector,
+    TmrProtectedFunction,
+)
+from repro.radiation import GEO, RadiationEnvironment, SolarActivity
+from repro.sim import RngRegistry
+
+DAY = 86_400.0
+GEOM = dict(rows=16, cols=16, bits_per_clb=64)
+
+
+def build(seed):
+    fpga = Fpga(**GEOM, essential_fraction=0.1)
+    bs = Bitstream.random("modem.tdma", GEOM["rows"], GEOM["cols"],
+                          GEOM["bits_per_clb"], RngRegistry(seed).stream("bs"))
+    fpga.configure(bs)
+    fpga.power_on()
+    return fpga
+
+
+def main() -> None:
+    # a commercial SRAM FPGA is far softer than the MH1RT baseline
+    env = RadiationEnvironment(
+        orbit=GEO, activity=SolarActivity.NOMINAL, device_seu_factor=1e3
+    )
+    reg = RngRegistry(seed=7)
+    days = 365
+    step = DAY / 4  # scrub/observe every 6 hours
+    nsteps = int(days * DAY / step)
+    print(f"environment: GEO nominal, {env.seu_rate_per_bit_day():.2e} SEU/bit/day "
+          f"(x1000 device factor ~ commercial SRAM FPGA)")
+    fpga0 = build(0)
+    per_day = env.seu_rate_per_bit_day() * fpga0.num_config_bits
+    print(f"device: {fpga0.num_config_bits} config bits -> "
+          f"{per_day:.2f} expected upsets/day\n")
+
+    def campaign(seed: int, repair) -> tuple[int, "Fpga"]:
+        """Run a year; returns (observations broken, device)."""
+        fpga = build(seed)
+        inj = SeuInjector(fpga, env, reg.stream(f"s{seed}"))
+        down = 0
+        for _ in range(nsteps):
+            inj.advance(step)
+            if not fpga.is_functional():
+                down += 1
+            repair(fpga)
+        return down, fpga
+
+    down, fpga = campaign(1, lambda f: None)
+    print(f"no mitigation:      {fpga.corrupted_bits():5d} standing corrupt bits, "
+          f"broken at {down}/{nsteps} observations "
+          f"({100 * down / nsteps:.1f}% downtime)")
+
+    scrubber = {}
+
+    def rb_repair(f):
+        if "rb" not in scrubber:
+            s = ReadbackScrubber(f, mode="crc")
+            s.snapshot()
+            scrubber["rb"] = s
+        scrubber["rb"].scan_and_repair()
+
+    down, fpga = campaign(2, rb_repair)
+    print(f"readback+repair:    {fpga.corrupted_bits():5d} standing corrupt bits, "
+          f"broken at {down}/{nsteps} observations "
+          f"({100 * down / nsteps:.1f}% downtime), "
+          f"{scrubber['rb'].repairs} CLB repairs, "
+          f"reference mem {scrubber['rb'].reference_memory_bits()} bits (CRC mode)")
+
+    blind = {}
+
+    def blind_repair(f):
+        if "b" not in blind:
+            blind["b"] = BlindScrubber(f, period=step)
+        blind["b"].scrub()
+
+    down, fpga = campaign(3, blind_repair)
+    print(f"blind scrubbing:    {fpga.corrupted_bits():5d} standing corrupt bits, "
+          f"broken at {down}/{nsteps} observations "
+          f"({100 * down / nsteps:.1f}% downtime), "
+          f"{blind['b'].scrubs} full rewrites (the paper's preferred technique)")
+
+    # --- TMR (design-level) ----------------------------------------------------
+    # per-observation probability that one replica holds an essential upset
+    pe = 1.0 - np.exp(-per_day * (step / DAY) * 0.1)
+    tmr = TmrProtectedFunction(pe)
+    wrong = tmr.evaluate(200_000, reg.stream("tmr"))
+    print(f"TMR vote:           pe={pe:.4f} per window -> measured failure rate "
+          f"{wrong.mean():.6f} (theory ~{tmr.theoretical_error_probability():.6f}), "
+          f"gate cost x3")
+
+    print("\nconclusion (paper §4.3): scrubbing gives availability without the "
+          "3x gate cost of TMR; TMR is reserved for critical state.")
+
+
+if __name__ == "__main__":
+    main()

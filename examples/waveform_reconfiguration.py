@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""The paper's headline scenario (Fig. 3): CDMA -> TDMA in orbit.
+
+The payload starts with the S-UMTS CDMA modem personality.  The NCC
+uploads the TDMA bitstream over FTP/TCP/IP across the GEO space link,
+commands the §3.1 reconfiguration sequence, receives the CRC telemetry,
+and traffic resumes in TDMA mode -- all in simulated time.
+
+Run:  python examples/waveform_reconfiguration.py
+"""
+
+import numpy as np
+
+from repro.core import PayloadConfig, RegenerativePayload
+from repro.ncc import NetworkControlCenter, SatelliteGateway
+from repro.net import Link, Node
+from repro.sim import RngRegistry, Simulator
+
+GEOM = (16, 16, 64)
+
+
+def main() -> None:
+    rng = RngRegistry(seed=42)
+    sim = Simulator()
+
+    # --- ground and space segments joined by a GEO link --------------------
+    ground = Node(sim, "ncc", 1)
+    space = Node(sim, "sat", 2)
+    link = Link(sim, delay=0.25, rate_bps=1e6, name="TC/TM uplink")
+    link.attach(ground)
+    link.attach(space)
+
+    payload = RegenerativePayload(
+        PayloadConfig(
+            num_carriers=1,
+            fpga_rows=GEOM[0],
+            fpga_cols=GEOM[1],
+            fpga_bits_per_clb=GEOM[2],
+        )
+    )
+    payload.boot(modem="modem.cdma")
+    SatelliteGateway(space, payload)
+    ncc = NetworkControlCenter(ground, payload.registry, sat_address=2,
+                               fpga_geometry=GEOM)
+
+    # --- phase 1: CDMA return-link traffic ---------------------------------
+    cdma = payload.demods[0].behaviour()
+    bits = rng.stream("cdma").integers(0, 2, 256).astype(np.uint8)
+    rx = cdma.receive(cdma.transmit(bits), 256)
+    print("phase 1 - CDMA service:")
+    print(f"  acquisition: phase={rx['acquisition'].phase} chips, "
+          f"detected={rx['acquisition'].detected}")
+    print(f"  BER: {np.mean(rx['bits'] != bits):.2e}\n")
+
+    # --- phase 2: the in-orbit waveform change -------------------------------
+    print("phase 2 - NCC reconfiguration campaign (FTP over the GEO link):")
+
+    def campaign(sim):
+        result = yield from ncc.reconfigure_equipment(
+            "demod0", "modem.tdma", protocol="ftp"
+        )
+        print(f"  upload:   {result.upload_seconds:8.3f} s "
+              f"({len(payload.registry.get('modem.tdma').bitstream_for(*GEOM).to_bytes())} bytes)")
+        print(f"  command:  {result.command_seconds:8.3f} s (store + reconfigure TCs)")
+        print(f"  outage:   {result.telemetry['outage_s']:8.3f} s (switch-off to validated switch-on)")
+        print(f"  CRC TM:   0x{result.crc:08x}")
+        print(f"  success:  {result.success}\n")
+
+    sim.process(campaign(sim))
+    sim.run(until=3600)
+
+    # --- phase 3: TDMA traffic on the same hardware -----------------------------
+    tdma = payload.demods[0].behaviour()
+    bits2 = rng.stream("tdma").integers(0, 2, tdma.bits_per_burst).astype(np.uint8)
+    out = tdma.receive(tdma.transmit(bits2))
+    print("phase 3 - TDMA service (same FPGA, new personality):")
+    print(f"  timing recovery: {out['timing_mode']} "
+          f"(burst of {tdma.burst.total} symbols)")
+    print(f"  UW metric: {out['uw_metric']:.3f}")
+    print(f"  BER: {np.mean(out['bits'] != bits2):.2e}")
+
+    # --- the paper's §2.3 hardware-profile argument ------------------------------
+    cdma_gates = payload.registry.get("modem.cdma").gates
+    tdma_gates = payload.registry.get("modem.tdma").gates
+    print("\ngate budgets (paper §2.3: both ~200k => swap is feasible):")
+    print(f"  modem.cdma: {cdma_gates:10,.0f} gates")
+    print(f"  modem.tdma: {tdma_gates:10,.0f} gates")
+    print(f"  device:     {payload.demods[0].fpga.gate_capacity:10,} gates")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro -- software radio for generic satellite payloads.
+
+A complete Python reproduction of Morlet et al., *"Towards generic
+satellite payloads: software radio"* (IPPS/IPDPS Workshops 2003): the
+regenerative MF-TDMA payload of Fig. 2, the CDMA/TDMA modem
+personalities of Fig. 3 (with the cited Gardner / Oerder&Meyr /
+De Gaudenzi algorithms), the UMTS TS 25.212 decoder options, a CLB-grid
+FPGA platform with the 4.3 SEU mitigations, the Table-1 radiation
+environment, and the full Fig. 4 reconfiguration protocol stack over a
+simulated GEO link.
+
+Packages
+--------
+- :mod:`repro.sim` -- deterministic discrete-event kernel + RNG streams.
+- :mod:`repro.dsp` -- the signal-processing substrate.
+- :mod:`repro.coding` -- CRC / convolutional / turbo / BCH codes.
+- :mod:`repro.fpga` -- FPGA/ASIC hardware platform models.
+- :mod:`repro.radiation` -- the space environment.
+- :mod:`repro.net` -- the N1/N2/N3 communication architecture.
+- :mod:`repro.core` -- the paper's payload, equipments and services.
+- :mod:`repro.ncc` -- the ground segment (campaigns, policies, traffic).
+
+Start with :class:`repro.core.RegenerativePayload` and the scripts in
+``examples/``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,50 @@
+"""Channel coding substrate (the paper's decoder personalities).
+
+Section 2.3 of the paper motivates decoder reconfiguration with the UMTS
+transport-channel coding options of 3GPP TS 25.212: some transmissions
+are **uncoded**, some use a **convolutional code**, some a **turbo
+code** -- and each needs a different on-board decoder architecture.
+This package implements all three, plus the CRC attachment and
+interleaving stages of the UMTS chain:
+
+- :mod:`repro.coding.crc` -- the TS 25.212 CRC polynomials (8/12/16/24).
+- :mod:`repro.coding.convolutional` -- UMTS K=9 convolutional codes
+  (rates 1/2 and 1/3) and a soft/hard-decision Viterbi decoder.
+- :mod:`repro.coding.turbo` -- the UMTS rate-1/3 PCCC turbo code with
+  the TS 25.212 internal interleaver and a max-log-MAP iterative decoder.
+- :mod:`repro.coding.interleaving` -- block interleavers and the UMTS
+  rate-matching (puncture/repeat) stage.
+- :mod:`repro.coding.umts` -- the assembled transport-channel chain and
+  the three "decoder personalities" the payload can be reconfigured
+  between.
+"""
+
+from .bch import bch_decode, bch_encode, decode_cltu, encode_cltu
+from .crc import Crc, CRC8, CRC12, CRC16, CRC24
+from .convolutional import ConvolutionalCode, UMTS_RATE_12, UMTS_RATE_13
+from .turbo import TurboCode, umts_turbo_interleaver
+from .interleaving import BlockInterleaver, rate_match, rate_dematch
+from .umts import CodingScheme, TransportChain, SCHEMES
+
+__all__ = [
+    "BlockInterleaver",
+    "CRC12",
+    "bch_decode",
+    "bch_encode",
+    "decode_cltu",
+    "encode_cltu",
+    "CRC16",
+    "CRC24",
+    "CRC8",
+    "CodingScheme",
+    "ConvolutionalCode",
+    "Crc",
+    "SCHEMES",
+    "TransportChain",
+    "TurboCode",
+    "UMTS_RATE_12",
+    "UMTS_RATE_13",
+    "rate_dematch",
+    "rate_match",
+    "umts_turbo_interleaver",
+]

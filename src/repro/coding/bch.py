@@ -1,0 +1,127 @@
+"""CCSDS TC channel coding: the BCH(63,56) codeblock.
+
+The paper's N1 "channel service" provides "an error-controlled data
+path to the spacecraft"; in the CCSDS TC standard that control is the
+BCH(63,56) code applied per 56-bit codeblock inside the CLTU.  The code
+corrects any single bit error (SEC) and detects double errors (TED) --
+exactly what a command uplink needs: never execute a corrupted command.
+
+Generator polynomial (CCSDS 231.0): g(x) = x^7 + x^6 + x^2 + 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bch_encode", "bch_decode", "encode_cltu", "decode_cltu", "BchError"]
+
+_GEN = 0b11000101  # x^7 + x^6 + x^2 + 1
+_K = 56
+_N = 63
+
+
+class BchError(ValueError):
+    """Uncorrectable codeblock or malformed CLTU."""
+
+
+def _remainder(bits: np.ndarray) -> int:
+    """Polynomial remainder of bits * x^7 modulo g(x)."""
+    reg = 0
+    for b in bits:
+        fb = ((reg >> 6) & 1) ^ int(b)
+        reg = ((reg << 1) & 0x7F)
+        if fb:
+            reg ^= _GEN & 0x7F
+    return reg
+
+
+# Precompute the syndrome of every single-bit error position (0..62);
+# syndromes are computed over the full 63-bit word.
+def _syndrome(word: np.ndarray) -> int:
+    """Syndrome of a 63-bit word (0 = codeword)."""
+    # encode the data part and compare parity
+    data, parity = word[:_K], word[_K:]
+    expect = _remainder(data)
+    got = 0
+    for b in parity:
+        got = (got << 1) | int(b)
+    return expect ^ got
+
+
+_ERROR_SYNDROMES: dict[int, int] = {}
+for _pos in range(_N):
+    _w = np.zeros(_N, dtype=np.uint8)
+    _w[_pos] = 1
+    _s = _syndrome(_w)
+    _ERROR_SYNDROMES[_s] = _pos
+
+
+def bch_encode(data: np.ndarray) -> np.ndarray:
+    """Encode 56 data bits into a 63-bit BCH codeblock."""
+    data = np.asarray(data).astype(np.uint8).ravel()
+    if len(data) != _K:
+        raise ValueError(f"BCH(63,56) takes {_K} bits, got {len(data)}")
+    rem = _remainder(data)
+    parity = np.array([(rem >> (6 - i)) & 1 for i in range(7)], dtype=np.uint8)
+    return np.concatenate([data, parity])
+
+
+def bch_decode(word: np.ndarray) -> tuple[np.ndarray, str]:
+    """Decode a 63-bit codeblock; returns (data, status).
+
+    ``status`` is ``"ok"`` or ``"corrected"``; an uncorrectable word
+    raises :class:`BchError` (the TC standard discards such CLTUs).
+    """
+    word = np.asarray(word).astype(np.uint8).ravel()
+    if len(word) != _N:
+        raise ValueError(f"codeblock must be {_N} bits")
+    s = _syndrome(word)
+    if s == 0:
+        return word[:_K].copy(), "ok"
+    pos = _ERROR_SYNDROMES.get(s)
+    if pos is None:
+        raise BchError(f"uncorrectable codeblock (syndrome {s:#04x})")
+    fixed = word.copy()
+    fixed[pos] ^= 1
+    if _syndrome(fixed) != 0:
+        raise BchError("uncorrectable codeblock (correction failed)")
+    return fixed[:_K].copy(), "corrected"
+
+
+def encode_cltu(payload: bytes) -> np.ndarray:
+    """Wrap bytes into a sequence of BCH codeblocks (a CLTU body).
+
+    The payload is padded with 0x55 fill (per the TC standard) to a
+    multiple of 7 bytes (56 bits); a one-byte length prefix lets
+    :func:`decode_cltu` strip the fill exactly.
+    """
+    if len(payload) > 0xFFFF:
+        raise ValueError("CLTU payload too long for this model")
+    framed = len(payload).to_bytes(2, "big") + payload
+    pad = (-len(framed)) % 7
+    framed += b"\x55" * pad
+    bits = np.unpackbits(np.frombuffer(framed, dtype=np.uint8))
+    blocks = [bch_encode(bits[i : i + _K]) for i in range(0, len(bits), _K)]
+    return np.concatenate(blocks)
+
+
+def decode_cltu(bits: np.ndarray) -> tuple[bytes, int]:
+    """Decode a CLTU body; returns (payload, corrected_blocks).
+
+    Raises :class:`BchError` on any uncorrectable codeblock.
+    """
+    bits = np.asarray(bits).astype(np.uint8).ravel()
+    if len(bits) % _N:
+        raise BchError(f"CLTU length {len(bits)} not a multiple of {_N}")
+    data = []
+    corrected = 0
+    for i in range(0, len(bits), _N):
+        block, status = bch_decode(bits[i : i + _N])
+        if status == "corrected":
+            corrected += 1
+        data.append(block)
+    stream = np.packbits(np.concatenate(data)).tobytes()
+    length = int.from_bytes(stream[:2], "big")
+    if length > len(stream) - 2:
+        raise BchError("CLTU length prefix inconsistent")
+    return stream[2 : 2 + length], corrected

@@ -1,0 +1,158 @@
+"""UMTS convolutional codes and Viterbi decoding (TS 25.212 §4.2.3.1).
+
+The constraint-length-9 codes of UMTS:
+
+- rate 1/2, generators (561, 753) octal;
+- rate 1/3, generators (557, 663, 711) octal.
+
+Encoding appends 8 zero tail bits so the trellis terminates in the
+all-zero state.  The Viterbi decoder accepts hard bits (0/1) or soft
+LLRs (positive = bit 0, the convention of
+:meth:`repro.dsp.modem.PskModem.demodulate_soft`) and is fully
+vectorized across the 256 trellis states per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ConvolutionalCode", "UMTS_RATE_12", "UMTS_RATE_13"]
+
+
+class ConvolutionalCode:
+    """Feedforward convolutional code with terminated Viterbi decoding.
+
+    Parameters
+    ----------
+    generators:
+        Octal generator polynomials (MSB = current input bit).
+    constraint_length:
+        K; the encoder has ``K - 1`` memory bits (=> ``2**(K-1)`` states).
+    """
+
+    def __init__(self, generators: tuple[int, ...], constraint_length: int = 9):
+        if constraint_length < 2:
+            raise ValueError("constraint_length must be >= 2")
+        if not generators:
+            raise ValueError("need at least one generator")
+        self.k = constraint_length
+        self.generators = tuple(int(str(g), 8) for g in generators)
+        for g in self.generators:
+            if g >> constraint_length:
+                raise ValueError(f"generator {g:o} too wide for K={constraint_length}")
+        self.n_out = len(self.generators)
+        self.num_states = 1 << (self.k - 1)
+        self._build_tables()
+
+    @property
+    def rate(self) -> float:
+        """Nominal code rate (ignoring tail bits)."""
+        return 1.0 / self.n_out
+
+    def _build_tables(self) -> None:
+        """Precompute next-state and output tables for all (state, input)."""
+        ns = self.num_states
+        states = np.arange(ns)
+        self.next_state = np.empty((ns, 2), dtype=np.int64)
+        self.outputs = np.empty((ns, 2, self.n_out), dtype=np.uint8)
+        for bit in (0, 1):
+            # shift register contents: [input, state bits]; register value
+            reg = (bit << (self.k - 1)) | states
+            self.next_state[:, bit] = reg >> 1
+            for j, g in enumerate(self.generators):
+                v = reg & g
+                # parity of v (vectorized popcount & 1)
+                parity = np.zeros(ns, dtype=np.uint8)
+                t = v.copy()
+                while np.any(t):
+                    parity ^= (t & 1).astype(np.uint8)
+                    t >>= 1
+                self.outputs[:, bit, j] = parity
+
+    # -- encoding --------------------------------------------------------
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode and terminate: output length = (len(bits)+K-1) * n_out."""
+        bits = np.asarray(bits).astype(np.uint8).ravel()
+        tail = np.zeros(self.k - 1, dtype=np.uint8)
+        stream = np.concatenate([bits, tail])
+        out = np.empty(len(stream) * self.n_out, dtype=np.uint8)
+        state = 0
+        for i, b in enumerate(stream):
+            out[i * self.n_out : (i + 1) * self.n_out] = self.outputs[state, b]
+            state = self.next_state[state, b]
+        return out
+
+    def encoded_length(self, num_bits: int) -> int:
+        """Length of :meth:`encode` output for ``num_bits`` message bits."""
+        return (num_bits + self.k - 1) * self.n_out
+
+    # -- decoding ----------------------------------------------------------
+    def decode(self, received: np.ndarray, num_bits: int, soft: bool = False) -> np.ndarray:
+        """Terminated Viterbi decoding.
+
+        Parameters
+        ----------
+        received:
+            Hard bits (when ``soft=False``) or LLRs (``soft=True``,
+            positive = bit 0) of length ``encoded_length(num_bits)``.
+        num_bits:
+            Message length to recover (tail is stripped).
+        """
+        received = np.asarray(received)
+        total = num_bits + self.k - 1
+        if len(received) != total * self.n_out:
+            raise ValueError(
+                f"expected {total * self.n_out} code symbols, got {len(received)}"
+            )
+        if soft:
+            llr = received.astype(np.float64)
+        else:
+            # map hard bits to pseudo-LLRs (+1 for 0, -1 for 1)
+            llr = 1.0 - 2.0 * received.astype(np.float64)
+        llr = llr.reshape(total, self.n_out)
+
+        ns = self.num_states
+        # branch metric: correlation of candidate outputs with LLRs
+        # signs[state, bit, j] = +1 if output bit 0 else -1
+        signs = 1.0 - 2.0 * self.outputs.astype(np.float64)  # (ns, 2, n_out)
+
+        metrics = np.full(ns, -np.inf)
+        metrics[0] = 0.0  # trellis starts in state 0
+        survivors = np.empty((total, ns), dtype=np.uint8)  # input bit chosen
+        prev_of = np.empty((total, ns), dtype=np.int64)
+
+        # scatter helper: for each (state, bit) -> next_state
+        nxt = self.next_state  # (ns, 2)
+        for t in range(total):
+            bm = signs @ llr[t]  # (ns, 2): metric for leaving each state
+            cand = metrics[:, None] + bm  # (ns, 2)
+            new_metrics = np.full(ns, -np.inf)
+            new_prev = np.zeros(ns, dtype=np.int64)
+            new_bit = np.zeros(ns, dtype=np.uint8)
+            flat_next = nxt.ravel()  # (2*ns,)
+            flat_cand = cand.ravel()
+            flat_prev = np.repeat(np.arange(ns), 2)
+            flat_bits = np.tile(np.array([0, 1], dtype=np.uint8), ns)
+            # np.maximum.at-style reduction with argmax: sort so the best
+            # candidate for each next-state lands last, then assign.
+            order = np.argsort(flat_cand, kind="stable")
+            new_metrics[flat_next[order]] = flat_cand[order]
+            new_prev[flat_next[order]] = flat_prev[order]
+            new_bit[flat_next[order]] = flat_bits[order]
+            metrics = new_metrics
+            prev_of[t] = new_prev
+            survivors[t] = new_bit
+
+        # traceback from state 0 (terminated trellis)
+        state = 0
+        decoded = np.empty(total, dtype=np.uint8)
+        for t in range(total - 1, -1, -1):
+            decoded[t] = survivors[t, state]
+            state = prev_of[t, state]
+        return decoded[:num_bits]
+
+
+#: TS 25.212 rate-1/2 code: G0 = 561, G1 = 753 (octal), K = 9.
+UMTS_RATE_12 = ConvolutionalCode((561, 753), 9)
+#: TS 25.212 rate-1/3 code: G0 = 557, G1 = 663, G2 = 711 (octal), K = 9.
+UMTS_RATE_13 = ConvolutionalCode((557, 663, 711), 9)

@@ -1,0 +1,85 @@
+"""Cyclic redundancy checks (TS 25.212 §4.2.1 polynomials).
+
+CRCs appear twice in the paper: on every UMTS transport block, and as
+the **validation service's auto-test** of a freshly loaded FPGA
+configuration (§3.2: "at least one auto-test of the new configuration
+will be realized (e.g. CRC applied on the configuration)").  The same
+implementation serves both (bit-array interface here; a byte interface
+is provided for configuration files).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Crc", "CRC8", "CRC12", "CRC16", "CRC24", "crc32_bytes"]
+
+
+class Crc:
+    """Bit-serial CRC over numpy bit arrays.
+
+    Parameters
+    ----------
+    poly:
+        Generator polynomial *without* the leading term, MSB-first
+        (e.g. CRC-16-CCITT ``x^16+x^12+x^5+1`` is ``0x1021`` with
+        ``width=16``).
+    width:
+        CRC length in bits.
+    """
+
+    def __init__(self, poly: int, width: int, name: str = "") -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        if poly >> width:
+            raise ValueError("poly has bits above width")
+        self.poly = poly
+        self.width = width
+        self.name = name or f"CRC{width}"
+
+    def compute(self, bits: np.ndarray) -> np.ndarray:
+        """CRC parity bits (MSB first) of a bit array."""
+        bits = np.asarray(bits).astype(np.uint8).ravel()
+        reg = 0
+        top = 1 << (self.width - 1)
+        mask = (1 << self.width) - 1
+        for b in bits:
+            fb = ((reg & top) != 0) ^ int(b)
+            reg = (reg << 1) & mask
+            if fb:
+                reg ^= self.poly
+        out = np.empty(self.width, dtype=np.uint8)
+        for i in range(self.width):
+            out[i] = (reg >> (self.width - 1 - i)) & 1
+        return out
+
+    def attach(self, bits: np.ndarray) -> np.ndarray:
+        """Append the CRC parity to the message (TS 25.212 attachment)."""
+        bits = np.asarray(bits).astype(np.uint8).ravel()
+        return np.concatenate([bits, self.compute(bits)])
+
+    def check(self, bits_with_crc: np.ndarray) -> bool:
+        """Validate a message produced by :meth:`attach`."""
+        bits_with_crc = np.asarray(bits_with_crc).astype(np.uint8).ravel()
+        if len(bits_with_crc) < self.width:
+            raise ValueError("message shorter than CRC width")
+        msg = bits_with_crc[: -self.width]
+        parity = bits_with_crc[-self.width :]
+        return bool(np.array_equal(self.compute(msg), parity))
+
+
+#: TS 25.212: gCRC8(D)  = D^8 + D^7 + D^4 + D^3 + D + 1
+CRC8 = Crc(0x9B, 8, "UMTS-CRC8")
+#: TS 25.212: gCRC12(D) = D^12 + D^11 + D^3 + D^2 + D + 1
+CRC12 = Crc(0x80F, 12, "UMTS-CRC12")
+#: TS 25.212: gCRC16(D) = D^16 + D^12 + D^5 + 1
+CRC16 = Crc(0x1021, 16, "UMTS-CRC16")
+#: TS 25.212: gCRC24(D) = D^24 + D^23 + D^6 + D^5 + D + 1
+CRC24 = Crc(0x800063, 24, "UMTS-CRC24")
+
+
+def crc32_bytes(data: bytes) -> int:
+    """IEEE CRC-32 of a byte string (used for bitstream validation)."""
+    import zlib
+
+    return zlib.crc32(data) & 0xFFFFFFFF

@@ -1,0 +1,78 @@
+"""On-board bitstream library (paper §3.2).
+
+"Optionally a binary files library can be managed on-board; this allows
+to reduce time transfers between the ground and the satellite but
+requires a lot of available memory on-board."
+
+The library sits on the EDAC-protected :class:`repro.fpga.memory.OnboardMemory`
+and indexes bitstream files by function name and version, so the
+reconfiguration service can resolve "load modem.tdma" either from a
+fresh upload or from the cached library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..fpga.bitstream import Bitstream
+from ..fpga.memory import OnboardMemory
+
+__all__ = ["BitstreamLibrary"]
+
+
+class BitstreamLibrary:
+    """Versioned bitstream store over on-board memory."""
+
+    def __init__(self, memory: Optional[OnboardMemory] = None) -> None:
+        self.memory = memory or OnboardMemory(capacity_bytes=8 << 20)
+        self._index: dict[str, tuple[str, int]] = {}  # file -> (function, version)
+
+    @staticmethod
+    def _filename(function: str, version: int) -> str:
+        return f"{function}@{version}.bit"
+
+    def store(self, bitstream: Bitstream) -> str:
+        """Store a bitstream; returns its library file name."""
+        name = self._filename(bitstream.function, bitstream.version)
+        self.memory.store(name, bitstream.to_bytes())
+        self._index[name] = (bitstream.function, bitstream.version)
+        return name
+
+    def store_raw(self, function: str, version: int, data: bytes) -> str:
+        """Store an as-uploaded byte image (validated on fetch)."""
+        name = self._filename(function, version)
+        self.memory.store(name, data)
+        self._index[name] = (function, version)
+        return name
+
+    def fetch(self, function: str, version: Optional[int] = None) -> Bitstream:
+        """Retrieve a bitstream (latest version when unspecified).
+
+        Raises ``KeyError`` when absent, ``ValueError``/``IOError`` when
+        the stored file fails its CRC or EDAC checks.
+        """
+        if version is None:
+            versions = [
+                v for _n, (f, v) in self._index.items() if f == function
+            ]
+            if not versions:
+                raise KeyError(f"no stored bitstream for {function!r}")
+            version = max(versions)
+        name = self._filename(function, version)
+        if name not in self._index:
+            raise KeyError(f"no stored bitstream {name!r}")
+        return Bitstream.from_bytes(self.memory.load(name))
+
+    def evict(self, function: str, version: int) -> None:
+        """Delete a stored image (§3.1 step: 'unload the binary file')."""
+        name = self._filename(function, version)
+        self.memory.delete(name)
+        del self._index[name]
+
+    def catalogue(self) -> list[tuple[str, int]]:
+        """(function, version) pairs currently stored."""
+        return sorted(self._index.values())
+
+    @property
+    def bytes_used(self) -> int:
+        return self.memory.used_bytes

@@ -1,0 +1,172 @@
+"""Reconfigurable payload equipment.
+
+An equipment couples one FPGA to one slot in the payload chain (a
+demodulator, a decoder...).  Its *behaviour* is the behavioural model of
+the currently loaded design -- available only while the device is
+powered, configured and functionally intact (no essential SEU).  §4.4's
+partitioning discussion maps directly: the equipment is the unit of
+reconfiguration, and its interfaces (sample format, clock) must match
+the neighbours, which we check via ``interface`` tags.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..fpga.bitstream import Bitstream
+from ..fpga.device import Fpga, FpgaError
+from .registry import FunctionDesign, FunctionRegistry
+
+__all__ = ["ReconfigurableEquipment", "EquipmentError"]
+
+
+class EquipmentError(RuntimeError):
+    """Illegal equipment operation (not loaded, broken, capacity...)."""
+
+
+class ReconfigurableEquipment:
+    """One FPGA-hosted digital function in the payload.
+
+    Parameters
+    ----------
+    name:
+        Equipment identifier used by the on-board controller (e.g.
+        ``"demod0"``).
+    fpga:
+        The hosting device.
+    registry:
+        Function catalogue used to resolve design names into behaviour.
+    expected_kind:
+        The slot type; loading a design of another kind is an interface
+        violation (§4.4's "common interfaces with the chips located
+        before and after").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fpga: Fpga,
+        registry: FunctionRegistry,
+        expected_kind: str = "modem",
+    ) -> None:
+        self.name = name
+        self.fpga = fpga
+        self.registry = registry
+        self.expected_kind = expected_kind
+        self._behaviour: Optional[Any] = None
+        self._design: Optional[FunctionDesign] = None
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def loaded_design(self) -> Optional[str]:
+        """Name of the currently loaded design (None when blank)."""
+        return self._design.name if self._design else None
+
+    @property
+    def operational(self) -> bool:
+        """Powered, configured and functionally intact."""
+        return self._behaviour is not None and self.fpga.is_functional()
+
+    def behaviour(self) -> Any:
+        """The live behavioural model; raises when not operational."""
+        if self._behaviour is None:
+            raise EquipmentError(f"{self.name}: no design loaded")
+        if not self.fpga.is_functional():
+            raise EquipmentError(
+                f"{self.name}: device not functional "
+                f"(power={self.fpga.power.value}, corrupted="
+                f"{self.fpga.corrupted_bits()} bits)"
+            )
+        return self._behaviour
+
+    # -- (re)configuration -------------------------------------------------
+    def check_design(self, design_name: str) -> FunctionDesign:
+        """Validate kind and gate budget without touching the device."""
+        design = self.registry.get(design_name)
+        if design.kind != self.expected_kind:
+            raise EquipmentError(
+                f"{self.name}: design {design_name!r} is a {design.kind}, "
+                f"slot expects a {self.expected_kind}"
+            )
+        if not design.fits(self.fpga.gate_capacity):
+            raise EquipmentError(
+                f"{self.name}: {design_name!r} needs {design.gates:,.0f} gates, "
+                f"device offers {self.fpga.gate_capacity:,}"
+            )
+        return design
+
+    def load(self, design_name: str, bitstream: Optional[Bitstream] = None) -> None:
+        """Full (off-line) load of a design: power off, configure, power on.
+
+        ``bitstream`` defaults to the design's own rendered image; pass
+        the NCC-uploaded one to model the real upload path (it must
+        declare the same function name).
+        """
+        design = self.check_design(design_name)
+        if bitstream is None:
+            bitstream = design.bitstream_for(
+                self.fpga.rows, self.fpga.cols, self.fpga.bits_per_clb
+            )
+        if bitstream.function != design.name:
+            raise EquipmentError(
+                f"{self.name}: bitstream implements {bitstream.function!r}, "
+                f"expected {design.name!r}"
+            )
+        self.fpga.power_off()
+        try:
+            self.fpga.configure(bitstream)
+        except FpgaError as exc:
+            raise EquipmentError(f"{self.name}: configuration failed: {exc}") from exc
+        self.fpga.power_on()
+        self._design = design
+        self._behaviour = design.factory()
+
+    def load_region(
+        self,
+        design_name: str,
+        row0: int = 0,
+        col0: int = 0,
+        height: Optional[int] = None,
+        width: Optional[int] = None,
+    ) -> float:
+        """Hot-swap a design through *partial* reconfiguration (§4.4).
+
+        Rewrites only the given CLB region with the new design's frames
+        while the device stays powered -- the "chip per function" /
+        partially-reconfigurable strategy, where the swapped blocks (e.g.
+        the modem's synchronizers) occupy a region and the rest of the
+        chip keeps running.  Returns the region load time in seconds.
+
+        Requires a device with partial-reconfiguration support and an
+        already-loaded configuration.
+        """
+        design = self.check_design(design_name)
+        if self._design is None:
+            raise EquipmentError(f"{self.name}: no design loaded (use load())")
+        height = self.fpga.rows if height is None else height
+        width = self.fpga.cols if width is None else width
+        bitstream = design.bitstream_for(
+            self.fpga.rows, self.fpga.cols, self.fpga.bits_per_clb
+        )
+        region = bitstream.frames[row0 : row0 + height, col0 : col0 + width]
+        try:
+            self.fpga.configure_region(row0, col0, region)
+        except FpgaError as exc:
+            raise EquipmentError(f"{self.name}: region load failed: {exc}") from exc
+        self.fpga.loaded_function = design.name
+        self.fpga.loaded_version = design.version
+        self._design = design
+        self._behaviour = design.factory()
+        return self.fpga.region_load_seconds(height, width)
+
+    def unload(self) -> None:
+        """Power the equipment down (service interruption)."""
+        self.fpga.power_off()
+        self._behaviour = None
+        self._design = None
+
+    def refresh_behaviour(self) -> None:
+        """Rebuild the behavioural object (e.g. after repair)."""
+        if self._design is None:
+            raise EquipmentError(f"{self.name}: no design loaded")
+        self._behaviour = self._design.factory()

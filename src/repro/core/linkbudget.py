@@ -1,0 +1,95 @@
+"""Transparent vs regenerative link budgets (paper §2.1).
+
+"Moreover regeneration of the signal on-board improves the global
+budget link of the system which is of great interest when small and not
+powerful transmitting user terminals are addressed."
+
+The arithmetic behind that sentence:
+
+- a **transparent** (bent-pipe) payload re-amplifies the uplink noise,
+  so the end-to-end carrier-to-noise combines as
+  ``1/(C/N)_tot = 1/(C/N)_up + 1/(C/N)_down``;
+- a **regenerative** payload demodulates on board, so the two hops are
+  independent binary channels and errors add:
+  ``p_e2e = p_up + p_down - 2 p_up p_down``.
+
+For weak uplinks (small user terminals) the transparent combination is
+dominated by the uplink C/N while the regenerative link only pays the
+uplink's *BER*, which coding on board can additionally clean up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.modem import theoretical_ber_bpsk
+
+__all__ = [
+    "transparent_cn",
+    "regenerative_ber",
+    "transparent_ber",
+    "LinkComparison",
+    "compare_payloads",
+]
+
+
+def _db_to_lin(db: float) -> float:
+    return 10.0 ** (db / 10.0)
+
+
+def _lin_to_db(x: float) -> float:
+    return 10.0 * float(np.log10(x))
+
+
+def transparent_cn(up_cn_db: float, down_cn_db: float) -> float:
+    """End-to-end C/N [dB] of a bent-pipe link (noise re-amplified)."""
+    up = _db_to_lin(up_cn_db)
+    down = _db_to_lin(down_cn_db)
+    return _lin_to_db(1.0 / (1.0 / up + 1.0 / down))
+
+
+def transparent_ber(up_cn_db: float, down_cn_db: float) -> float:
+    """End-to-end BER of the transparent link (BPSK/QPSK per-bit)."""
+    return theoretical_ber_bpsk(transparent_cn(up_cn_db, down_cn_db))
+
+
+def regenerative_ber(up_cn_db: float, down_cn_db: float) -> float:
+    """End-to-end BER with on-board demodulation/remodulation.
+
+    Independent per-hop error events: a bit is wrong end-to-end when
+    exactly one hop flipped it.
+    """
+    pu = theoretical_ber_bpsk(up_cn_db)
+    pd = theoretical_ber_bpsk(down_cn_db)
+    return pu + pd - 2.0 * pu * pd
+
+
+@dataclass(frozen=True)
+class LinkComparison:
+    """One row of the transparent-vs-regenerative comparison."""
+
+    up_cn_db: float
+    down_cn_db: float
+    transparent_cn_db: float
+    transparent_ber: float
+    regenerative_ber: float
+
+    @property
+    def regeneration_gain(self) -> float:
+        """BER improvement factor from on-board regeneration."""
+        if self.regenerative_ber <= 0:
+            return float("inf")
+        return self.transparent_ber / self.regenerative_ber
+
+
+def compare_payloads(up_cn_db: float, down_cn_db: float) -> LinkComparison:
+    """Compare both payload types on one up/down C/N operating point."""
+    return LinkComparison(
+        up_cn_db=up_cn_db,
+        down_cn_db=down_cn_db,
+        transparent_cn_db=transparent_cn(up_cn_db, down_cn_db),
+        transparent_ber=transparent_ber(up_cn_db, down_cn_db),
+        regenerative_ber=regenerative_ber(up_cn_db, down_cn_db),
+    )

@@ -1,0 +1,314 @@
+"""The regenerative payload (Fig. 2) and the platform/payload split (Fig. 1).
+
+Receive side: ADC -> half-band filtering -> DBFN (multi-element case) ->
+DEMUX (polyphase channelizer) -> one reconfigurable demodulator per
+carrier -> reconfigurable decoder -> baseband packet switch.  Transmit
+side: re-modulation and DAC.  Every demodulator and the decoder are
+:class:`repro.core.equipment.ReconfigurableEquipment` instances -- the
+functions the paper's SDR concept targets.
+
+The payload also exposes a synthesis helper (:meth:`build_uplink`) that
+generates the matching MF-TDMA multiplex, so tests and benchmarks can
+run the chain end-to-end without an external signal source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..dsp.adc import Adc, Dac
+from ..dsp.beamforming import Dbfn
+from ..dsp.demux import PolyphaseChannelizer, multiplex_carriers
+from ..fpga.device import Fpga
+from .equipment import ReconfigurableEquipment
+from .obc import OnBoardController, Telecommand, Telemetry
+from .registry import FunctionRegistry, default_registry
+
+__all__ = ["PayloadConfig", "RegenerativePayload", "Platform", "PacketSwitch"]
+
+
+@dataclass(frozen=True)
+class PayloadConfig:
+    """Geometry and sizing of the regenerative payload.
+
+    Defaults follow the paper: 6 carriers (the MF-TDMA complexity
+    example), 8-bit ADCs, a 1.2 M-gate-class FPGA per equipment.
+    """
+
+    num_carriers: int = 6
+    adc_bits: int = 8
+    dac_bits: int = 12
+    array_elements: int = 1  # 1 = single-feed (DBFN bypassed)
+    beam_thetas: tuple = (0.0,)  # one beam per direction (radians)
+    fpga_rows: int = 16
+    fpga_cols: int = 16
+    fpga_bits_per_clb: int = 64
+    fpga_gate_capacity: int = 1_200_000
+    channelizer_taps: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_carriers < 1:
+            raise ValueError("need at least one carrier")
+        if self.array_elements < 1:
+            raise ValueError("need at least one antenna element")
+        if len(self.beam_thetas) < 1:
+            raise ValueError("need at least one beam")
+
+    @property
+    def beam_theta(self) -> float:
+        """First beam direction (kept for the single-beam API)."""
+        return self.beam_thetas[0]
+
+
+class PacketSwitch:
+    """Baseband packet switching (the regenerative payload's raison d'etre).
+
+    Packets are byte strings whose first byte is the destination
+    down-link port; the switch routes them into per-port queues and
+    counts drops on unknown ports.
+    """
+
+    def __init__(self, num_ports: int = 4) -> None:
+        if num_ports < 1:
+            raise ValueError("need at least one port")
+        self.num_ports = num_ports
+        self.queues: List[List[bytes]] = [[] for _ in range(num_ports)]
+        self.routed = 0
+        self.dropped = 0
+
+    def route(self, packet: bytes) -> Optional[int]:
+        """Route one packet; returns the port or None when dropped."""
+        if not packet:
+            self.dropped += 1
+            return None
+        port = packet[0] % 256
+        if port >= self.num_ports:
+            self.dropped += 1
+            return None
+        self.queues[port].append(packet[1:])
+        self.routed += 1
+        return port
+
+    def drain(self, port: int) -> List[bytes]:
+        """Pop everything queued for a down-link port."""
+        out = self.queues[port]
+        self.queues[port] = []
+        return out
+
+
+class RegenerativePayload:
+    """The Fig. 2 payload: per-carrier demodulators + decoder + switch."""
+
+    def __init__(
+        self,
+        config: Optional[PayloadConfig] = None,
+        registry: Optional[FunctionRegistry] = None,
+        obc: Optional[OnBoardController] = None,
+    ) -> None:
+        self.config = config or PayloadConfig()
+        self.registry = registry or default_registry()
+        self.obc = obc or OnBoardController()
+        cfg = self.config
+
+        self.adc = Adc(bits=cfg.adc_bits)
+        self.dac = Dac(bits=cfg.dac_bits)
+        self.dbfn: Optional[Dbfn] = None
+        if cfg.array_elements > 1:
+            self.dbfn = Dbfn(cfg.array_elements)
+            for theta in cfg.beam_thetas:
+                self.dbfn.point_beam(theta)
+        self.channelizer = (
+            PolyphaseChannelizer(cfg.num_carriers, cfg.channelizer_taps)
+            if cfg.num_carriers > 1
+            else None
+        )
+
+        # one reconfigurable demodulator equipment per carrier
+        self.demods: List[ReconfigurableEquipment] = []
+        for k in range(cfg.num_carriers):
+            fpga = Fpga(
+                rows=cfg.fpga_rows,
+                cols=cfg.fpga_cols,
+                bits_per_clb=cfg.fpga_bits_per_clb,
+                gate_capacity=cfg.fpga_gate_capacity,
+                name=f"fpga-demod{k}",
+            )
+            eq = ReconfigurableEquipment(
+                f"demod{k}", fpga, self.registry, expected_kind="modem"
+            )
+            self.demods.append(eq)
+            self.obc.register_equipment(eq)
+        # one decoder equipment (shared across carriers, as in Fig. 2's
+        # decod bank; a per-carrier bank is a config away)
+        dec_fpga = Fpga(
+            rows=cfg.fpga_rows,
+            cols=cfg.fpga_cols,
+            bits_per_clb=cfg.fpga_bits_per_clb,
+            gate_capacity=cfg.fpga_gate_capacity,
+            name="fpga-decod",
+        )
+        self.decoder = ReconfigurableEquipment(
+            "decod0", dec_fpga, self.registry, expected_kind="decoder"
+        )
+        self.obc.register_equipment(self.decoder)
+        self.switch = PacketSwitch()
+
+    # -- bring-up ---------------------------------------------------------
+    def boot(self, modem: str = "modem.tdma", decoder: str = "decod.conv") -> None:
+        """Load initial personalities into every equipment."""
+        for eq in self.demods:
+            eq.load(modem)
+        self.decoder.load(decoder)
+
+    @property
+    def operational(self) -> bool:
+        """All equipments carrying a live function."""
+        return all(eq.operational for eq in self.demods) and self.decoder.operational
+
+    # -- synthesis (test/bench signal source) --------------------------------
+    def build_uplink(self, bits_per_carrier: List[np.ndarray]) -> np.ndarray:
+        """Build the MF multiplex carrying one burst per carrier.
+
+        Each carrier's burst is produced by that carrier's *current*
+        modem personality, so the synthesized signal always matches what
+        the demodulators expect.
+        """
+        cfg = self.config
+        if len(bits_per_carrier) != cfg.num_carriers:
+            raise ValueError(f"need bits for {cfg.num_carriers} carriers")
+        streams = []
+        for eq, bits in zip(self.demods, bits_per_carrier):
+            modem = eq.behaviour()
+            streams.append(modem.transmit(np.asarray(bits, dtype=np.uint8)))
+        n = max(len(s) for s in streams)
+        bb = np.zeros((cfg.num_carriers, n), dtype=np.complex128)
+        for k, s in enumerate(streams):
+            bb[k, : len(s)] = s
+        if cfg.num_carriers == 1:
+            return bb[0]
+        return multiplex_carriers(bb, cfg.num_carriers)
+
+    # -- the receive chain -----------------------------------------------------
+    def process_uplink(
+        self,
+        wideband: np.ndarray,
+        bits_expected: Optional[List[int]] = None,
+        beam: int = 0,
+    ) -> Dict[str, object]:
+        """Run the Fig. 2 Rx chain on a wideband block.
+
+        ``bits_expected[k]`` bounds how many payload bits to demodulate
+        on carrier ``k`` (defaults to each modem's burst capacity).
+        With a multi-element front end, ``beam`` selects which DBFN
+        output feeds the carrier DEMUX (one demod bank serves the chosen
+        beam; a full multi-beam payload instantiates one payload per
+        beam or time-shares the bank).
+
+        Returns per-carrier demodulated bits plus chain diagnostics.
+        """
+        cfg = self.config
+        x = self.adc.convert(np.asarray(wideband))
+        if self.dbfn is not None:
+            if not 0 <= beam < self.dbfn.num_beams:
+                raise ValueError(f"beam {beam} out of range")
+            x = self.dbfn.form_beams(x)[beam]
+        if self.channelizer is not None:
+            usable = (len(x) // cfg.num_carriers) * cfg.num_carriers
+            channels = self.channelizer.process(x[:usable])
+        else:
+            channels = x[None, :]
+        from ..dsp.tdma import BurstSyncError
+
+        out_bits: List[np.ndarray] = []
+        diags: List[dict] = []
+        for k, eq in enumerate(self.demods):
+            modem = eq.behaviour()
+            want = bits_expected[k] if bits_expected else None
+            try:
+                if hasattr(modem, "bits_per_burst"):  # TDMA
+                    res = modem.receive(channels[k], num_bits=want)
+                else:  # CDMA
+                    res = modem.receive(channels[k], want or 128)
+            except BurstSyncError as exc:
+                # a carrier that failed burst sync delivers nothing; the
+                # payload reports it instead of aborting the other carriers
+                n = want or getattr(modem, "bits_per_burst", 128)
+                out_bits.append(np.zeros(n, dtype=np.uint8))
+                diags.append({"sync_failed": str(exc)})
+                continue
+            out_bits.append(res["bits"])
+            diags.append({key: res[key] for key in res if key != "bits"})
+        return {"bits": out_bits, "diagnostics": diags}
+
+    def decode_block(self, llr: np.ndarray) -> dict:
+        """Run one transport block through the decoder personality."""
+        return self.decoder.behaviour().decode(llr)
+
+    def route_packets(self, packets: List[bytes]) -> dict:
+        """Baseband switching of regenerated packets."""
+        ports = [self.switch.route(p) for p in packets]
+        return {"ports": ports, "routed": self.switch.routed, "dropped": self.switch.dropped}
+
+    # -- the transmit chain (Fig. 2 Tx part) --------------------------------
+    def build_downlink(self, port: int) -> dict:
+        """Drain one switch port and modulate its packets for downlink.
+
+        The Tx part of Fig. 2: regenerated packets are re-encoded by the
+        decoder personality's encoder, re-modulated by the (TDMA) modem
+        personality, and quantized by the DAC.  Returns the downlink
+        samples plus the packets carried.
+
+        Packets are fit into transport blocks (padded/truncated to the
+        chain's block size) -- one burst per packet.
+        """
+        packets = self.switch.drain(port)
+        chain = self.decoder.behaviour()
+        modem = self.demods[port % len(self.demods)].behaviour()
+        if not hasattr(modem, "bits_per_burst"):
+            raise ValueError(
+                "downlink modulation requires a TDMA personality on the Tx modem"
+            )
+        bursts = []
+        for packet in packets:
+            bits = np.unpackbits(np.frombuffer(packet, dtype=np.uint8))
+            block = np.zeros(chain.transport_block, dtype=np.uint8)
+            n = min(len(bits), chain.transport_block)
+            block[:n] = bits[:n]
+            coded = chain.encode(block)
+            burst_bits = coded[: modem.bits_per_burst]
+            if len(burst_bits) < modem.bits_per_burst:
+                burst_bits = np.concatenate([
+                    burst_bits,
+                    np.zeros(modem.bits_per_burst - len(burst_bits), dtype=np.uint8),
+                ])
+            bursts.append(modem.transmit(burst_bits))
+        if bursts:
+            samples = self.dac.convert(np.concatenate(bursts))
+        else:
+            samples = np.zeros(0, dtype=np.complex128)
+        return {"samples": samples, "packets": packets, "bursts": len(bursts)}
+
+
+class Platform:
+    """The Fig. 1 platform: TC/TM relay and clock/frequency references.
+
+    The platform "interprets commands given to the satellite by an
+    operation center and transmits information through a telemetry
+    channel"; equipment-level work is delegated to the OBC.
+    """
+
+    def __init__(self, payload: RegenerativePayload) -> None:
+        self.payload = payload
+        self.clock_ppm = 0.05  # reference stability, informational
+        self.tc_count = 0
+        self.tm_count = 0
+
+    def handle_telecommand(self, tc: Telecommand) -> Telemetry:
+        """Relay a TC to the on-board controller, count TM back."""
+        self.tc_count += 1
+        tm = self.payload.obc.execute(tc)
+        self.tm_count += 1
+        return tm

@@ -1,0 +1,130 @@
+"""Cold-spare redundancy and automatic failover.
+
+Spacecraft practice for the §4.2 failure modes the paper calls
+"more difficult to recover from or impossible" (latch-up, burnout):
+critical equipments fly with a cold spare.  Because the paper's
+equipments are *software-defined*, the spare is generic -- failover is
+just loading the active personality onto the spare device, which is
+exactly the flexibility argument of the conclusion.
+
+:class:`RedundantEquipment` pairs a primary and a spare
+:class:`~repro.core.equipment.ReconfigurableEquipment`;
+:class:`FailoverProcess` watches health in simulated time and fails
+over automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Simulator
+from .equipment import EquipmentError, ReconfigurableEquipment
+
+__all__ = ["RedundantEquipment", "FailoverProcess"]
+
+
+class RedundantEquipment:
+    """A primary/spare pair presenting one logical equipment.
+
+    The spare is *cold*: unpowered and unconfigured until a failover.
+    ``behaviour()`` delegates to whichever unit is active.
+    """
+
+    def __init__(
+        self,
+        primary: ReconfigurableEquipment,
+        spare: ReconfigurableEquipment,
+    ) -> None:
+        if primary.expected_kind != spare.expected_kind:
+            raise ValueError("primary and spare must host the same slot kind")
+        self.primary = primary
+        self.spare = spare
+        self.active = primary
+        self.failovers = 0
+        self._failed_units: set[str] = set()
+        self._last_design: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.primary.name
+
+    @property
+    def loaded_design(self) -> Optional[str]:
+        return self.active.loaded_design
+
+    @property
+    def operational(self) -> bool:
+        return self.active.operational
+
+    def behaviour(self):
+        """The live behavioural model of the active unit."""
+        return self.active.behaviour()
+
+    def load(self, design_name: str) -> None:
+        """Load a design on the active unit (spare stays cold)."""
+        self.active.load(design_name)
+        self._last_design = design_name
+
+    def mark_unit_failed(self, unit: ReconfigurableEquipment) -> None:
+        """Record a permanent failure (latch-up/burnout) of one unit."""
+        self._failed_units.add(unit.name)
+        unit.unload()
+
+    def unit_failed(self, unit: ReconfigurableEquipment) -> bool:
+        return unit.name in self._failed_units
+
+    def failover(self) -> ReconfigurableEquipment:
+        """Switch to the other unit, carrying the personality across.
+
+        Raises :class:`EquipmentError` when no healthy standby remains.
+        """
+        standby = self.spare if self.active is self.primary else self.primary
+        if self.unit_failed(standby):
+            raise EquipmentError(
+                f"{self.name}: no healthy standby (both units failed)"
+            )
+        # a destroyed unit may already be unloaded: carry the last design
+        design = self.active.loaded_design or self._last_design
+        if design is None:
+            raise EquipmentError(f"{self.name}: no design to carry over")
+        standby.load(design)
+        self.active.unload()
+        self.active = standby
+        self.failovers += 1
+        return standby
+
+
+class FailoverProcess:
+    """Watches a redundant pair in sim time and fails over on fault.
+
+    ``check_period`` is the health-monitor cadence; a failover is
+    triggered whenever the active unit stops being operational (SEU on
+    an essential bit, latch-up power-down, ...).  When the failure is
+    transient (configuration corruption), the standby takes over and the
+    corrupted unit remains available for a later recovery.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pair: RedundantEquipment,
+        check_period: float = 60.0,
+    ) -> None:
+        if check_period <= 0:
+            raise ValueError("check_period must be positive")
+        self.sim = sim
+        self.pair = pair
+        self.check_period = check_period
+        self.events: list[tuple[float, str]] = []
+        self.process = sim.process(self._run(), name=f"failover-{pair.name}")
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.check_period)
+            if not self.pair.operational:
+                try:
+                    unit = self.pair.failover()
+                    self.events.append((self.sim.now, f"failover->{unit.name}"))
+                except EquipmentError as exc:
+                    self.events.append((self.sim.now, f"unrecoverable: {exc}"))
+                    return

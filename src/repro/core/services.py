@@ -1,0 +1,126 @@
+"""On-board reconfiguration and validation services (paper §3.2).
+
+"Two main services can be distinguished: the reconfiguration service
+that loads a binary file on a FPGA [and] the validation service that
+tests the current configuration of a FPGA."
+
+Both are invoked by the on-board controller in response to telecommands
+(or COPS decisions).  Durations are modeled from device parameters so
+the §3.1 sequence can be time-accounted (benchmark C3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..fpga.bitstream import Bitstream
+from .bitstore import BitstreamLibrary
+from .equipment import EquipmentError, ReconfigurableEquipment
+
+__all__ = ["ReconfigurationService", "ValidationService", "ServiceError", "StepLog"]
+
+
+class ServiceError(RuntimeError):
+    """Service-level failure (missing file, configuration error...)."""
+
+
+@dataclass
+class StepLog:
+    """One timed step of a service execution."""
+
+    step: str
+    duration: float
+    detail: str = ""
+
+
+@dataclass
+class ReconfigurationService:
+    """Loads a binary file from on-board memory onto an FPGA.
+
+    The four §3.2 steps: (1) the file transfer from the NCC is assumed
+    already completed into the library (that's the N1-N3 stack's job),
+    (2) load memory -> FPGA configuration memory, (3) switch on the
+    FPGA, (4) optionally unload the file from memory.
+
+    ``memory_read_rate`` models the on-board memory bus (bits/s).
+    """
+
+    library: BitstreamLibrary
+    memory_read_rate: float = 50e6
+    keep_in_library: bool = True
+    log: list[StepLog] = field(default_factory=list)
+
+    def execute(
+        self,
+        equipment: ReconfigurableEquipment,
+        function: str,
+        version: Optional[int] = None,
+    ) -> tuple[Bitstream, list[StepLog]]:
+        """Run steps 2-4 on ``equipment``; returns (bitstream, step log).
+
+        The equipment ends configured and powered ON.  Raises
+        :class:`ServiceError` on any failure (the caller decides whether
+        to roll back).
+        """
+        steps: list[StepLog] = []
+        try:
+            bitstream = self.library.fetch(function, version)
+        except (KeyError, ValueError, IOError) as exc:
+            raise ServiceError(f"library fetch failed: {exc}") from exc
+        read_t = 8.0 * len(bitstream.to_bytes()) / self.memory_read_rate
+        steps.append(StepLog("fetch-from-memory", read_t, f"{function} v{bitstream.version}"))
+
+        load_t = equipment.fpga.config_load_seconds(bitstream)
+        try:
+            equipment.load(function, bitstream)
+        except EquipmentError as exc:
+            raise ServiceError(str(exc)) from exc
+        steps.append(StepLog("configure-fpga", load_t, f"{bitstream.num_bits} bits via config port"))
+        steps.append(StepLog("switch-on", 0.01, "power sequencing"))
+
+        if not self.keep_in_library:
+            self.library.evict(function, bitstream.version)
+            steps.append(StepLog("unload-from-memory", 0.0, "library evict"))
+        self.log.extend(steps)
+        return bitstream, steps
+
+
+@dataclass
+class ValidationService:
+    """Auto-tests a freshly loaded configuration (paper §3.2).
+
+    "At least one auto-test of the new configuration will be realized
+    (e.g. CRC applied on the configuration).  The result of this test is
+    transmitted to the NCC through the telemetry channel."
+
+    ``crc_check_rate`` models the readback+CRC engine (bits/s).
+    """
+
+    crc_check_rate: float = 20e6
+    log: list[StepLog] = field(default_factory=list)
+
+    def execute(
+        self, equipment: ReconfigurableEquipment, expected: Bitstream
+    ) -> tuple[bool, list[StepLog]]:
+        """CRC the live configuration against the uploaded image.
+
+        Returns ``(passed, steps)``.
+        """
+        fpga = equipment.fpga
+        duration = fpga.num_config_bits / self.crc_check_rate
+        try:
+            live = fpga.config_crc32()
+        except Exception as exc:
+            raise ServiceError(f"readback failed: {exc}") from exc
+        passed = live == expected.crc32()
+        steps = [
+            StepLog(
+                "crc-auto-test",
+                duration,
+                f"live=0x{live:08x} expected=0x{expected.crc32():08x} "
+                f"{'PASS' if passed else 'FAIL'}",
+            )
+        ]
+        self.log.extend(steps)
+        return passed, steps

@@ -1,0 +1,56 @@
+"""Signal-processing substrate for the software-radio payload.
+
+This package implements, from scratch on top of numpy, every digital
+function that appears in the paper's regenerative payload (Fig. 2) and
+in the CDMA/TDMA modem pair (Fig. 3):
+
+- :mod:`repro.dsp.filters` -- FIR design, half-band filters, SRRC
+  matched filters, polyphase decimators.
+- :mod:`repro.dsp.adc` -- quantizing ADC/DAC models.
+- :mod:`repro.dsp.nco` -- numerically-controlled oscillator and digital
+  down-conversion.
+- :mod:`repro.dsp.modem` -- PSK mapping/demapping and BER utilities.
+- :mod:`repro.dsp.channel` -- AWGN / CFO / phase-noise / delay channel
+  impairments and the composite satellite uplink channel.
+- :mod:`repro.dsp.timing` -- Gardner timing-error-detector loop [5] and
+  the Oerder & Meyr feedforward square-law estimator [6].
+- :mod:`repro.dsp.carrier` -- carrier phase/frequency recovery.
+- :mod:`repro.dsp.cdma` -- spreading sequences, code acquisition [7],
+  DLL code tracking [8], despreading; the CDMA modem personality.
+- :mod:`repro.dsp.tdma` -- MF-TDMA framing and the burst-mode TDMA
+  modem personality.
+- :mod:`repro.dsp.beamforming` -- the digital beam-forming network (DBFN).
+- :mod:`repro.dsp.demux` -- polyphase channelizer demultiplexer (DEMUX).
+"""
+
+from . import (  # noqa: F401
+    adc,
+    agc,
+    beamforming,
+    carrier,
+    cdma,
+    channel,
+    demux,
+    filters,
+    frontend,
+    modem,
+    nco,
+    tdma,
+    timing,
+)
+
+__all__ = [
+    "adc",
+    "agc",
+    "beamforming",
+    "carrier",
+    "cdma",
+    "channel",
+    "demux",
+    "filters",
+    "frontend",
+    "modem",
+    "nco",
+    "tdma",
+    "timing",
+]

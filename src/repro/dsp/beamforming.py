@@ -1,0 +1,100 @@
+"""Digital beam-forming network (DBFN).
+
+The receive section of the Fig. 2 payload combines the element signals
+of the antenna array into per-beam signals with a matrix of complex
+weights ("DBFN + DEMUX").  We model a uniform linear array (ULA): the
+steering vector for a direction-of-arrival ``theta`` (radians from
+boresight) with element spacing ``d`` (wavelengths) is
+
+``a(theta)_k = exp(-j * 2 * pi * d * k * sin(theta))``.
+
+Beam weights are conjugate-matched steering vectors (conventional
+beamformer), optionally with a taper for sidelobe control.  The hot path
+is one matmul per block, kept contiguous for cache efficiency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["steering_vector", "Dbfn", "array_response"]
+
+
+def steering_vector(num_elements: int, theta: float, spacing: float = 0.5) -> np.ndarray:
+    """ULA steering vector toward ``theta`` (radians off boresight)."""
+    if num_elements < 1:
+        raise ValueError("need at least one element")
+    k = np.arange(num_elements)
+    return np.exp(-2j * np.pi * spacing * k * np.sin(theta))
+
+
+def array_response(weights: np.ndarray, thetas: np.ndarray, spacing: float = 0.5) -> np.ndarray:
+    """Beam pattern |w^H a(theta)| over a grid of angles."""
+    weights = np.asarray(weights)
+    thetas = np.asarray(thetas, dtype=np.float64)
+    k = np.arange(len(weights))
+    a = np.exp(-2j * np.pi * spacing * np.outer(np.sin(thetas), k))
+    return np.abs(a @ np.conj(weights))
+
+
+class Dbfn:
+    """Multi-beam digital beam-forming network.
+
+    Forms ``num_beams`` beams from ``num_elements`` element streams in a
+    single complex matmul per block.  Beams are added with
+    :meth:`point_beam`; weights may be retapered or replaced at runtime
+    (this is the "parameterization" the paper notes is already solved by
+    ASICs -- our model supports it for completeness).
+    """
+
+    def __init__(self, num_elements: int, spacing: float = 0.5) -> None:
+        if num_elements < 1:
+            raise ValueError("need at least one element")
+        self.num_elements = num_elements
+        self.spacing = spacing
+        self._weights: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
+
+    @property
+    def num_beams(self) -> int:
+        return len(self._weights)
+
+    def point_beam(self, theta: float, taper: np.ndarray | None = None) -> int:
+        """Add a beam steered to ``theta``; returns the beam index."""
+        w = np.conj(steering_vector(self.num_elements, theta, self.spacing))
+        if taper is not None:
+            taper = np.asarray(taper, dtype=np.float64)
+            if taper.shape != (self.num_elements,):
+                raise ValueError("taper length must equal num_elements")
+            w = w * taper
+        w = w / self.num_elements  # unit gain toward steering direction
+        self._weights.append(w)
+        self._matrix = None
+        return len(self._weights) - 1
+
+    def weight_matrix(self) -> np.ndarray:
+        """(num_beams, num_elements) weight matrix (cached, contiguous)."""
+        if self._matrix is None:
+            if not self._weights:
+                raise ValueError("no beams defined")
+            self._matrix = np.ascontiguousarray(np.vstack(self._weights))
+        return self._matrix
+
+    def form_beams(self, element_signals: np.ndarray) -> np.ndarray:
+        """Combine element streams into beam streams.
+
+        ``element_signals`` is (num_elements, N); returns (num_beams, N).
+        """
+        x = np.asarray(element_signals)
+        if x.ndim != 2 or x.shape[0] != self.num_elements:
+            raise ValueError(
+                f"expected ({self.num_elements}, N) element matrix, got {x.shape}"
+            )
+        return self.weight_matrix() @ x
+
+    def beam_gain_db(self, beam: int, theta: float) -> float:
+        """Gain of ``beam`` toward direction ``theta``, in dB."""
+        w = self._weights[beam]
+        a = steering_vector(self.num_elements, theta, self.spacing)
+        g = np.abs(np.vdot(np.conj(w), a))
+        return float(20.0 * np.log10(max(g, 1e-30)))

@@ -1,0 +1,82 @@
+"""The Fig. 2 digital front end: IF -> baseband -> decimated samples.
+
+The figure's receive path runs the ADC output through a digital
+down-conversion (LO2a/LO2b mixers in the figure) and two half-band
+filter stages before the DBFN/DEMUX.  :class:`Frontend` composes those
+blocks -- ADC quantization, DDC from the IF, a cascade of half-band
+decimators, and an AGC holding the level into the chain -- as one
+streaming-capable object.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .adc import Adc
+from .agc import Agc
+from .filters import HalfBandDecimator
+from .nco import Nco
+
+__all__ = ["Frontend"]
+
+
+class Frontend:
+    """ADC + DDC + half-band decimation cascade + AGC.
+
+    Parameters
+    ----------
+    if_freq:
+        Intermediate frequency of the input, cycles/sample (0 for an
+        already-baseband input).
+    halfband_stages:
+        Number of decimate-by-2 half-band stages (Fig. 2 draws two).
+    adc_bits:
+        ADC resolution.
+    agc:
+        Enable the level-control loop ahead of the ADC.
+    """
+
+    def __init__(
+        self,
+        if_freq: float = 0.25,
+        halfband_stages: int = 2,
+        adc_bits: int = 8,
+        agc: bool = True,
+        halfband_taps: int = 31,
+    ) -> None:
+        if halfband_stages < 0:
+            raise ValueError("halfband_stages must be >= 0")
+        self.if_freq = if_freq
+        self.adc = Adc(bits=adc_bits)
+        self.agc = Agc(target_rms=0.35) if agc else None  # headroom vs clipping
+        self.nco = Nco(-if_freq) if if_freq else None
+        self.stages = [HalfBandDecimator(halfband_taps) for _ in range(halfband_stages)]
+
+    @property
+    def decimation(self) -> int:
+        """Total rate reduction through the half-band cascade."""
+        return 1 << len(self.stages)
+
+    def reset(self) -> None:
+        """Clear all streaming state."""
+        if self.nco is not None:
+            self.nco.phase = 0.0
+        for stage in self.stages:
+            stage.reset()
+        if self.agc is not None:
+            self.agc.gain = 1.0
+
+    def process(self, x: np.ndarray) -> np.ndarray:
+        """Run one block through AGC -> ADC -> DDC -> half-band cascade.
+
+        Streaming-consistent: consecutive blocks concatenate exactly.
+        """
+        y = np.asarray(x, dtype=np.complex128)
+        if self.agc is not None:
+            y = self.agc.process(y)
+        y = self.adc.convert(y)
+        if self.nco is not None:
+            y = self.nco.mix(y)
+        for stage in self.stages:
+            y = stage.process(y)
+        return y

@@ -1,0 +1,169 @@
+"""PSK mapping/demapping and link-quality utilities.
+
+The paper's modems (Fig. 3) share everything downstream of the
+synchronizers: a PSK symbol demapper feeding the decoder.  This module
+provides Gray-mapped BPSK/QPSK/8PSK constellations, hard and soft (LLR)
+demapping, and the Eb/N0 bookkeeping used throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PskModem",
+    "ebn0_to_sigma",
+    "esn0_from_ebn0",
+    "count_bit_errors",
+    "ber",
+    "qfunc",
+    "theoretical_ber_bpsk",
+]
+
+
+def qfunc(x: np.ndarray | float) -> np.ndarray | float:
+    """Gaussian tail probability Q(x)."""
+    from scipy.special import erfc
+
+    return 0.5 * erfc(np.asarray(x) / np.sqrt(2.0))
+
+
+def theoretical_ber_bpsk(ebn0_db: float) -> float:
+    """Exact AWGN BER for BPSK/QPSK (per-bit): Q(sqrt(2 Eb/N0))."""
+    ebn0 = 10.0 ** (ebn0_db / 10.0)
+    return float(qfunc(np.sqrt(2.0 * ebn0)))
+
+
+def esn0_from_ebn0(ebn0_db: float, bits_per_symbol: int, code_rate: float = 1.0) -> float:
+    """Convert Eb/N0 [dB] to Es/N0 [dB] for a coded modulation."""
+    if bits_per_symbol < 1:
+        raise ValueError("bits_per_symbol must be >= 1")
+    if not 0.0 < code_rate <= 1.0:
+        raise ValueError("code_rate must be in (0, 1]")
+    return ebn0_db + 10.0 * np.log10(bits_per_symbol * code_rate)
+
+
+def ebn0_to_sigma(
+    ebn0_db: float, bits_per_symbol: int = 1, code_rate: float = 1.0, es: float = 1.0
+) -> float:
+    """Per-dimension complex-noise sigma for a target Eb/N0.
+
+    With symbol energy ``es``, the complex noise is
+    ``sigma * (randn + 1j randn)`` where
+    ``sigma = sqrt(N0 / 2)`` and ``N0 = es / (Es/N0)``.
+    """
+    esn0_db = esn0_from_ebn0(ebn0_db, bits_per_symbol, code_rate)
+    esn0 = 10.0 ** (esn0_db / 10.0)
+    n0 = es / esn0
+    return float(np.sqrt(n0 / 2.0))
+
+
+def count_bit_errors(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of differing bits between two equal-length bit arrays."""
+    a = np.asarray(a).astype(np.uint8)
+    b = np.asarray(b).astype(np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def ber(a: np.ndarray, b: np.ndarray) -> float:
+    """Bit error rate between two bit arrays."""
+    a = np.asarray(a)
+    if a.size == 0:
+        return 0.0
+    return count_bit_errors(a, b) / a.size
+
+
+def _gray_psk_constellation(m: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return (points, bit_labels) for Gray-mapped M-PSK, unit energy."""
+    k = int(np.log2(m))
+    if 2**k != m:
+        raise ValueError("M must be a power of two")
+    idx = np.arange(m)
+    gray = idx ^ (idx >> 1)
+    if m == 2:
+        points = np.array([1.0 + 0j, -1.0 + 0j])
+        labels = np.array([[0], [1]], dtype=np.uint8)
+        return points, labels
+    if m == 4:
+        # Gray QPSK: one bit per rail, pi/4-rotated so rails are I and Q.
+        angles = np.pi / 4 + np.pi / 2 * np.arange(4)
+        points_g = np.exp(1j * angles)  # order by gray index along the circle
+    else:
+        points_g = np.exp(1j * 2.0 * np.pi * np.arange(m) / m)
+    # position i on the circle carries gray label gray[i]
+    points = np.empty(m, dtype=complex)
+    labels = np.empty((m, k), dtype=np.uint8)
+    for pos in range(m):
+        g = gray[pos]
+        points[g] = points_g[pos]
+    for val in range(m):
+        labels[val] = [(val >> (k - 1 - b)) & 1 for b in range(k)]
+    return points, labels
+
+
+class PskModem:
+    """Gray-mapped M-PSK modulator/demodulator.
+
+    ``order`` is 2 (BPSK), 4 (QPSK) or 8 (8PSK).  Symbols have unit
+    energy.  Soft demapping produces max-log LLRs with the convention
+    ``LLR > 0  <=>  bit = 0``.
+    """
+
+    def __init__(self, order: int = 4) -> None:
+        if order not in (2, 4, 8):
+            raise ValueError("order must be 2, 4 or 8")
+        self.order = order
+        self.bits_per_symbol = int(np.log2(order))
+        self.points, self.labels = _gray_psk_constellation(order)
+        # per-bit index sets for LLR computation
+        k = self.bits_per_symbol
+        self._bit0_sets = [np.where(self.labels[:, b] == 0)[0] for b in range(k)]
+        self._bit1_sets = [np.where(self.labels[:, b] == 1)[0] for b in range(k)]
+
+    # -- modulation ----------------------------------------------------
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map a bit array (length multiple of bits/symbol) to symbols."""
+        bits = np.asarray(bits).astype(np.uint8).ravel()
+        k = self.bits_per_symbol
+        if len(bits) % k:
+            raise ValueError(f"bit count {len(bits)} not a multiple of {k}")
+        groups = bits.reshape(-1, k)
+        weights = 1 << np.arange(k - 1, -1, -1)
+        sym_idx = groups @ weights
+        return self.points[sym_idx]
+
+    # -- demodulation ---------------------------------------------------
+    def demodulate_hard(self, symbols: np.ndarray) -> np.ndarray:
+        """Minimum-distance hard decisions -> bit array."""
+        symbols = np.asarray(symbols)
+        d = np.abs(symbols[:, None] - self.points[None, :])
+        idx = np.argmin(d, axis=1)
+        return self.labels[idx].ravel()
+
+    def demodulate_soft(self, symbols: np.ndarray, noise_var: float) -> np.ndarray:
+        """Max-log LLRs, one per bit, ``LLR = log P(b=0) - log P(b=1)``.
+
+        ``noise_var`` is the total complex noise variance (N0).
+        """
+        if noise_var <= 0:
+            raise ValueError("noise_var must be positive")
+        symbols = np.asarray(symbols)
+        # squared distances to each constellation point: (N, M)
+        d2 = np.abs(symbols[:, None] - self.points[None, :]) ** 2
+        k = self.bits_per_symbol
+        out = np.empty((len(symbols), k))
+        for b in range(k):
+            m0 = d2[:, self._bit0_sets[b]].min(axis=1)
+            m1 = d2[:, self._bit1_sets[b]].min(axis=1)
+            out[:, b] = (m1 - m0) / noise_var
+        return out.ravel()
+
+    def symbol_indices(self, bits: np.ndarray) -> np.ndarray:
+        """Bit array -> integer symbol indices (for tests/inspection)."""
+        bits = np.asarray(bits).astype(np.uint8).ravel()
+        k = self.bits_per_symbol
+        groups = bits.reshape(-1, k)
+        weights = 1 << np.arange(k - 1, -1, -1)
+        return groups @ weights

@@ -1,0 +1,86 @@
+"""Numerically-controlled oscillator and digital down-conversion.
+
+The DEMUX path of the payload shifts each carrier of the MF-TDMA
+multiplex to baseband before decimation; this module provides the NCO
+(phase-continuous complex exponential generator) and a simple DDC
+(mix + low-pass + decimate) used by the per-carrier receive chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .filters import FirFilter, design_lowpass
+
+__all__ = ["Nco", "Ddc", "mix"]
+
+
+def mix(x: np.ndarray, freq: float, phase: float = 0.0) -> np.ndarray:
+    """One-shot complex mix: ``x * exp(j*(2*pi*freq*n + phase))``.
+
+    ``freq`` is normalized to cycles/sample.
+    """
+    n = np.arange(len(x))
+    return np.asarray(x) * np.exp(1j * (2.0 * np.pi * freq * n + phase))
+
+
+class Nco:
+    """Phase-continuous numerically-controlled oscillator.
+
+    Successive :meth:`generate` calls continue the phase ramp exactly, so
+    block-based mixing is identical to one-shot mixing.
+    """
+
+    def __init__(self, freq: float, phase: float = 0.0) -> None:
+        self.freq = float(freq)  # cycles/sample
+        self.phase = float(phase)  # radians
+
+    def generate(self, n: int) -> np.ndarray:
+        """Return ``n`` samples of the complex exponential and advance phase."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        idx = np.arange(n)
+        out = np.exp(1j * (2.0 * np.pi * self.freq * idx + self.phase))
+        self.phase = float(
+            np.mod(self.phase + 2.0 * np.pi * self.freq * n, 2.0 * np.pi)
+        )
+        return out
+
+    def mix(self, x: np.ndarray) -> np.ndarray:
+        """Multiply a block by the NCO output (down-convert uses negative freq)."""
+        return np.asarray(x) * self.generate(len(x))
+
+
+class Ddc:
+    """Digital down-converter: NCO mix, low-pass, decimate.
+
+    Parameters
+    ----------
+    freq:
+        Carrier frequency to remove, cycles/sample (the DDC mixes by -freq).
+    decim:
+        Integer decimation applied after filtering.
+    num_taps:
+        Anti-alias low-pass length.
+    """
+
+    def __init__(self, freq: float, decim: int = 1, num_taps: int = 63) -> None:
+        if decim < 1:
+            raise ValueError("decim must be >= 1")
+        self.nco = Nco(-freq)
+        self.decim = decim
+        cutoff = min(0.45, 0.5 / decim * 0.9) if decim > 1 else 0.45
+        self.lpf = FirFilter(design_lowpass(num_taps, cutoff))
+        self._phase = 0
+
+    def reset(self) -> None:
+        self.nco.phase = 0.0
+        self.lpf.reset()
+        self._phase = 0
+
+    def process(self, x: np.ndarray) -> np.ndarray:
+        """Down-convert one block (streaming-consistent across calls)."""
+        y = self.lpf.process(self.nco.mix(x))
+        out = y[self._phase :: self.decim]
+        self._phase = (self._phase - len(x)) % self.decim
+        return out

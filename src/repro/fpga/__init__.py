@@ -1,0 +1,60 @@
+"""Hardware-platform substrate: FPGA/ASIC models (paper §4).
+
+The paper's hardware story: payload digital functions are traditionally
+ASICs (ATMEL MH1RT, Table 1); SDR flexibility comes from FPGAs whose
+configuration memory can be rewritten in orbit -- at the price of SEU
+sensitivity, mitigated by TMR, duplication+XOR, readback+repair or blind
+scrubbing (§4.3), and constrained by whether the part supports partial
+reconfiguration (§4.4).
+
+- :mod:`repro.fpga.bitstream` -- configuration files with CRC.
+- :mod:`repro.fpga.device` -- the CLB-grid FPGA model (readback, partial
+  and global configuration, JTAG-style port, power gating).
+- :mod:`repro.fpga.asic` -- the MH1RT-class ASIC model (Table 1).
+- :mod:`repro.fpga.gates` -- the gate-count complexity model behind the
+  paper's 200k-gate estimates (§2.3).
+- :mod:`repro.fpga.seu` -- SEU injection into configuration memory.
+- :mod:`repro.fpga.mitigation` -- TMR, duplication+XOR, readback-repair
+  and blind scrubbing engines.
+- :mod:`repro.fpga.memory` -- on-board memory with optional EDAC.
+"""
+
+from .asic import Mh1rtAsic, AsicDevice, MH1RT
+from .bitstream import Bitstream
+from .device import Fpga, FpgaError, PowerState
+from .gates import (
+    GateModel,
+    cdma_demodulator_gates,
+    tdma_timing_recovery_gates,
+    turbo_decoder_gates,
+    viterbi_decoder_gates,
+)
+from .memory import OnboardMemory
+from .mitigation import (
+    BlindScrubber,
+    DuplicationWithComparison,
+    ReadbackScrubber,
+    TmrProtectedFunction,
+)
+from .seu import SeuInjector
+
+__all__ = [
+    "AsicDevice",
+    "Bitstream",
+    "BlindScrubber",
+    "DuplicationWithComparison",
+    "Fpga",
+    "FpgaError",
+    "GateModel",
+    "MH1RT",
+    "Mh1rtAsic",
+    "OnboardMemory",
+    "PowerState",
+    "ReadbackScrubber",
+    "SeuInjector",
+    "TmrProtectedFunction",
+    "cdma_demodulator_gates",
+    "tdma_timing_recovery_gates",
+    "turbo_decoder_gates",
+    "viterbi_decoder_gates",
+]

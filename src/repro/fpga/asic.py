@@ -1,0 +1,105 @@
+"""Space-qualified ASIC model (paper Table 1: ATMEL MH1RT).
+
+The ASIC is the flexibility baseline: fast and radiation-hard but with a
+*fixed* function -- the whole motivation for the paper's FPGA-based
+software radio.  ``MH1RT`` reproduces Table 1 exactly:
+
+====================  ===================
+Number of gates       1.2 million
+Voltage               2.5 to 5 V
+TID                   200 krad
+SEU for GEO sat.      1e-7 err/bit/day
+====================  ===================
+
+plus the §4.1 projection for the 0.25/0.18 um shrinks: TID rises to
+300 krad while the SEU rate stays constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AsicDevice", "Mh1rtAsic", "MH1RT", "MH1RT_025", "MH1RT_018"]
+
+
+@dataclass(frozen=True)
+class AsicDevice:
+    """A fixed-function space ASIC.
+
+    ``reconfigure`` always fails -- the defining limitation the paper's
+    SDR concept removes.
+    """
+
+    name: str
+    gate_count: int
+    voltage_min: float
+    voltage_max: float
+    tid_tolerance_krad: float
+    seu_rate_geo_per_bit_day: float
+    feature_size_um: float
+    function: str = "fixed"
+
+    def __post_init__(self) -> None:
+        if self.gate_count < 1:
+            raise ValueError("gate_count must be positive")
+        if self.voltage_min > self.voltage_max:
+            raise ValueError("voltage range inverted")
+
+    @property
+    def reconfigurable(self) -> bool:
+        """ASICs are never reconfigurable."""
+        return False
+
+    def reconfigure(self, *_args, **_kwargs) -> None:
+        """ASIC functions are frozen at fabrication."""
+        raise NotImplementedError(
+            f"{self.name} is an ASIC: the function is fixed at fabrication; "
+            "use an Fpga for software-radio reconfiguration"
+        )
+
+    def table_row(self) -> dict[str, object]:
+        """Characteristics in the layout of the paper's Table 1."""
+        return {
+            "Number of gates": self.gate_count,
+            "Voltage": f"{self.voltage_min} to {self.voltage_max}V",
+            "TID": f"{self.tid_tolerance_krad:.0f} Krads",
+            "SEU for GEO sat.": self.seu_rate_geo_per_bit_day,
+        }
+
+
+def Mh1rtAsic(function: str = "fixed") -> AsicDevice:
+    """Factory for an MH1RT instance hosting a named (frozen) function."""
+    return AsicDevice(
+        name="ATMEL MH1RT",
+        gate_count=1_200_000,
+        voltage_min=2.5,
+        voltage_max=5.0,
+        tid_tolerance_krad=200.0,
+        seu_rate_geo_per_bit_day=1e-7,
+        feature_size_um=0.35,
+        function=function,
+    )
+
+
+#: The Table-1 reference part.
+MH1RT = Mh1rtAsic()
+
+#: §4.1 projections: shrinks reach 300 krad TID at constant SEU rate.
+MH1RT_025 = AsicDevice(
+    name="MH1RT-0.25um",
+    gate_count=4_000_000,
+    voltage_min=2.5,
+    voltage_max=3.3,
+    tid_tolerance_krad=300.0,
+    seu_rate_geo_per_bit_day=1e-7,
+    feature_size_um=0.25,
+)
+MH1RT_018 = AsicDevice(
+    name="MH1RT-0.18um",
+    gate_count=8_000_000,
+    voltage_min=1.8,
+    voltage_max=3.3,
+    tid_tolerance_krad=300.0,
+    seu_rate_geo_per_bit_day=1e-7,
+    feature_size_um=0.18,
+)

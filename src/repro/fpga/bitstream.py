@@ -1,0 +1,134 @@
+"""FPGA configuration bitstreams.
+
+A bitstream is the binary file the NCC uploads (§3.1: "load of the
+binary file representing the new configuration in an on-board memory
+... load of the new configuration on the FPGA through a specific
+interface (e.g. JTAG)").  It carries the target geometry, the
+per-CLB configuration frames, a function name (the modem/decoder
+personality it implements) and a CRC32 used by the validation service.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Bitstream"]
+
+_MAGIC = b"SDRB"
+_VERSION = 1
+
+
+@dataclass
+class Bitstream:
+    """An FPGA configuration image.
+
+    Attributes
+    ----------
+    function:
+        Name of the digital function implemented (e.g. ``"modem.tdma"``).
+    rows, cols, bits_per_clb:
+        Target device geometry this image configures.
+    frames:
+        ``(rows, cols, bits_per_clb)`` uint8 array of configuration bits.
+    version:
+        Design revision, used by the on-board library.
+    """
+
+    function: str
+    rows: int
+    cols: int
+    bits_per_clb: int
+    frames: np.ndarray = field(repr=False)
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        self.frames = np.asarray(self.frames, dtype=np.uint8)
+        expected = (self.rows, self.cols, self.bits_per_clb)
+        if self.frames.shape != expected:
+            raise ValueError(
+                f"frames shape {self.frames.shape} != geometry {expected}"
+            )
+        if not np.all(self.frames <= 1):
+            raise ValueError("frames must be a bit array (0/1)")
+
+    # -- derived -------------------------------------------------------
+    @property
+    def num_bits(self) -> int:
+        """Total configuration bits."""
+        return self.frames.size
+
+    def crc32(self) -> int:
+        """CRC32 of the configuration payload (validation-service check)."""
+        return zlib.crc32(np.packbits(self.frames.ravel()).tobytes()) & 0xFFFFFFFF
+
+    # -- serialization ---------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize to the on-the-wire format used for NCC uploads."""
+        name = self.function.encode("utf-8")
+        packed = np.packbits(self.frames.ravel()).tobytes()
+        header = struct.pack(
+            ">4sBHIIII",
+            _MAGIC,
+            _VERSION,
+            len(name),
+            self.rows,
+            self.cols,
+            self.bits_per_clb,
+            self.version,
+        )
+        body = header + name + struct.pack(">I", len(packed)) + packed
+        return body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bitstream":
+        """Parse :meth:`to_bytes` output, verifying the trailer CRC."""
+        if len(data) < 27:
+            raise ValueError("bitstream file truncated")
+        body, trailer = data[:-4], data[-4:]
+        (crc,) = struct.unpack(">I", trailer)
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise ValueError("bitstream file CRC mismatch")
+        magic, ver, name_len, rows, cols, bpc, design_ver = struct.unpack(
+            ">4sBHIIII", body[:23]
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"bad magic {magic!r}")
+        if ver != _VERSION:
+            raise ValueError(f"unsupported container version {ver}")
+        off = 23
+        name = body[off : off + name_len].decode("utf-8")
+        off += name_len
+        (packed_len,) = struct.unpack(">I", body[off : off + 4])
+        off += 4
+        packed = body[off : off + packed_len]
+        if len(packed) != packed_len:
+            raise ValueError("bitstream payload truncated")
+        total = rows * cols * bpc
+        bits = np.unpackbits(np.frombuffer(packed, dtype=np.uint8))[:total]
+        frames = bits.reshape(rows, cols, bpc)
+        return cls(
+            function=name,
+            rows=rows,
+            cols=cols,
+            bits_per_clb=bpc,
+            frames=frames,
+            version=design_ver,
+        )
+
+    @classmethod
+    def random(
+        cls,
+        function: str,
+        rows: int,
+        cols: int,
+        bits_per_clb: int,
+        rng: np.random.Generator,
+        version: int = 1,
+    ) -> "Bitstream":
+        """A synthetic design image (uniform random configuration bits)."""
+        frames = rng.integers(0, 2, (rows, cols, bits_per_clb), dtype=np.uint8)
+        return cls(function, rows, cols, bits_per_clb, frames, version)

@@ -1,0 +1,235 @@
+"""Gate-count complexity model (paper §2.3).
+
+The paper reports a "first complexity estimation":
+
+- timing recovery for MF-TDMA with 6 carriers: **200 000 gates**;
+- CDMA with one user: **200 000 gates** (< complexity with several
+  users);
+
+and concludes "a change to a TDMA demodulator is compatible with the
+existing hardware profile".  This module rebuilds that estimation from
+structural primitives (flip-flops, adders, array multipliers, RAM/ROM,
+control overhead) with equivalent-gate costs typical of the era's ASIC
+libraries, composed into the same functions the paper sized.  The
+default parameters land on the paper's two 200k figures (benchmark C1
+checks the match).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GateModel",
+    "tdma_timing_recovery_gates",
+    "cdma_demodulator_gates",
+    "viterbi_decoder_gates",
+    "turbo_decoder_gates",
+]
+
+
+@dataclass(frozen=True)
+class GateModel:
+    """Equivalent-gate costs of datapath primitives.
+
+    Defaults are classic gate-equivalent figures: a D-FF ~ 8 gates, a
+    ripple/carry-select adder ~ 12 gates/bit, an array multiplier
+    ~ 10 gates per partial-product bit, dual-port RAM ~ 1.5 gates/bit,
+    plus a fractional control/routing overhead.
+    """
+
+    ff_per_bit: float = 8.0
+    adder_per_bit: float = 12.0
+    mult_per_pp_bit: float = 10.0
+    mux_per_bit: float = 4.0
+    ram_per_bit: float = 1.5
+    rom_per_bit: float = 0.5
+    xor_per_bit: float = 3.0
+    control_overhead: float = 0.18
+
+    # -- primitives -----------------------------------------------------
+    def register(self, bits: float) -> float:
+        """Pipeline/state register."""
+        return self.ff_per_bit * bits
+
+    def adder(self, bits: float) -> float:
+        """Two-input adder/subtractor."""
+        return self.adder_per_bit * bits
+
+    def multiplier(self, a_bits: float, b_bits: float) -> float:
+        """Array multiplier (cost ~ product of operand widths)."""
+        return self.mult_per_pp_bit * a_bits * b_bits
+
+    def complex_multiplier(self, bits: float) -> float:
+        """4 real multipliers + 2 adders (+ output registers)."""
+        return (
+            4 * self.multiplier(bits, bits)
+            + 2 * self.adder(bits + 1)
+            + self.register(2 * bits)
+        )
+
+    def mac(self, bits: float) -> float:
+        """Multiply-accumulate (real)."""
+        return self.multiplier(bits, bits) + self.adder(2 * bits) + self.register(2 * bits)
+
+    def ram(self, bits: float) -> float:
+        return self.ram_per_bit * bits
+
+    def rom(self, bits: float) -> float:
+        return self.rom_per_bit * bits
+
+    def with_control(self, datapath_gates: float) -> float:
+        """Add the control/routing overhead fraction."""
+        return datapath_gates * (1.0 + self.control_overhead)
+
+    # -- composed blocks ----------------------------------------------------
+    def fir(self, taps: int, data_bits: float, coef_bits: float, complex_data: bool = True) -> float:
+        """Transposed-form FIR (complex data, real coefficients)."""
+        rails = 2 if complex_data else 1
+        per_tap = (
+            self.multiplier(data_bits, coef_bits)
+            + self.adder(data_bits + coef_bits)
+            + self.register(data_bits + coef_bits)
+        )
+        return rails * taps * per_tap
+
+    def farrow_interpolator(self, data_bits: float) -> float:
+        """4-branch cubic Farrow structure on complex data."""
+        branch = self.fir(4, data_bits, 4, complex_data=True) / 4  # short branch FIRs
+        horner = 3 * (self.multiplier(data_bits, data_bits) + self.adder(data_bits))
+        return 4 * branch + 2 * horner + self.register(4 * data_bits)
+
+    def loop_filter(self, bits: float) -> float:
+        """2nd-order PI loop filter."""
+        return (
+            2 * self.multiplier(bits, bits)
+            + 2 * self.adder(bits + 4)
+            + self.register(2 * (bits + 4))
+        )
+
+    def nco(self, phase_bits: float) -> float:
+        """Phase accumulator + sin/cos lookup (256-entry, 10-bit tables)."""
+        return (
+            self.adder(phase_bits)
+            + self.register(phase_bits)
+            + self.rom(2 * 256 * 10)
+        )
+
+    def correlator(self, length: int, data_bits: float, complex_data: bool = True) -> float:
+        """Sign-coefficient correlator (adders only, +-1 reference)."""
+        rails = 2 if complex_data else 1
+        return rails * length * (self.adder(data_bits + 4) + self.register(data_bits + 4))
+
+
+# ---------------------------------------------------------------------------
+# Function-level estimators (the paper's §2.3 comparison)
+# ---------------------------------------------------------------------------
+
+
+def tdma_timing_recovery_gates(
+    num_carriers: int = 6,
+    data_bits: int = 8,
+    uw_length: int = 20,
+    model: GateModel | None = None,
+) -> float:
+    """Gate estimate of the MF-TDMA burst timing-recovery function.
+
+    Per carrier: cubic (Farrow) interpolator, Gardner TED (one complex
+    multiplier), 2nd-order loop filter, strobe NCO, the Oerder&Meyr
+    square-law branch (squarer + single-bin DFT accumulators) for short
+    bursts, and the UW correlator needed to locate bursts in the slot.
+    The paper's figure for 6 carriers is 200 000 gates.
+    """
+    if num_carriers < 1:
+        raise ValueError("num_carriers must be >= 1")
+    g = model or GateModel()
+    interp = g.farrow_interpolator(data_bits)
+    ted = g.complex_multiplier(data_bits) + g.adder(data_bits + 2)
+    loop = g.loop_filter(data_bits + 4)
+    strobe = g.nco(16)
+    # Oerder&Meyr: |x|^2 (complex mult), exp(-j2πn/4) trivial rotations,
+    # two accumulators, arctan ROM (256 x 10)
+    om = (
+        g.complex_multiplier(data_bits)
+        + 2 * (g.adder(data_bits + 8) + g.register(data_bits + 8))
+        + g.rom(256 * 10)
+    )
+    uw = g.correlator(uw_length, data_bits)
+    per_carrier = g.with_control(interp + ted + loop + strobe + om + uw)
+    return num_carriers * per_carrier
+
+
+def cdma_demodulator_gates(
+    num_users: int = 1,
+    spreading_factor: int = 16,
+    acq_window: int = 256,
+    data_bits: int = 8,
+    model: GateModel | None = None,
+) -> float:
+    """Gate estimate of the CDMA demodulator (§2.3 right column).
+
+    Shared: code-phase acquisition (parallel correlation over the search
+    window with non-coherent accumulation) and the code NCO/generators.
+    Per user: a 3-arm (early/prompt/late) DLL despreader, the
+    integrate-and-dump, and the code-tracking loop -- so multi-user
+    complexity grows, matching the paper's "200000 gates < complexity
+    with several users".
+    """
+    if num_users < 1:
+        raise ValueError("num_users must be >= 1")
+    g = model or GateModel()
+    # acquisition engine: correlator bank over the window + magnitude +
+    # threshold logic + statistics RAM
+    acq = (
+        g.correlator(acq_window, data_bits)
+        + g.complex_multiplier(data_bits)  # non-coherent |.|^2
+        + g.ram(acq_window * 24)
+        + g.adder(24)
+    )
+    codegen = 3 * (g.register(18) + g.xor_per_bit * 18)  # LFSRs + OVSF counters
+    per_user = (
+        3 * g.correlator(spreading_factor, data_bits)  # E/P/L despread arms
+        + 2 * g.complex_multiplier(data_bits)  # power detectors
+        + g.loop_filter(data_bits + 4)  # DLL loop
+        + g.nco(16)  # chip NCO
+        + g.register(4 * data_bits)
+    )
+    total = acq + codegen + num_users * per_user
+    return g.with_control(total)
+
+
+def viterbi_decoder_gates(
+    num_states: int = 256,
+    rate_inverse: int = 3,
+    traceback_depth: int = 64,
+    soft_bits: int = 4,
+    model: GateModel | None = None,
+) -> float:
+    """Gate estimate of a Viterbi decoder (UMTS K=9 default)."""
+    if num_states < 2:
+        raise ValueError("num_states must be >= 2")
+    g = model or GateModel()
+    metric_bits = soft_bits + 6
+    acs = num_states * (
+        2 * g.adder(metric_bits) + g.mux_per_bit * metric_bits + g.register(metric_bits)
+    )
+    bmu = (1 << rate_inverse) * g.adder(soft_bits + 2)
+    path_mem = g.ram(num_states * traceback_depth)
+    return g.with_control(acs + bmu + path_mem)
+
+
+def turbo_decoder_gates(
+    block_length: int = 5114,
+    num_states: int = 8,
+    soft_bits: int = 6,
+    model: GateModel | None = None,
+) -> float:
+    """Gate estimate of a max-log-MAP turbo decoder (UMTS PCCC default)."""
+    g = model or GateModel()
+    metric_bits = soft_bits + 8
+    # one SISO: alpha + beta + LLR datapaths over num_states
+    siso = 3 * num_states * (2 * g.adder(metric_bits) + g.mux_per_bit * metric_bits)
+    siso += num_states * g.register(metric_bits) * 2
+    mem = g.ram(block_length * (3 * soft_bits + metric_bits))  # LLR + state metrics
+    interleaver = g.ram(block_length * 13) + g.rom(block_length * 13)
+    return g.with_control(2 * siso + mem + interleaver)

@@ -1,0 +1,179 @@
+"""On-board memory with optional EDAC (SEC-DED Hamming).
+
+The reconfiguration service stages bitstream files in on-board memory
+(§3.2: "load of the binary file ... in an on-board memory"; "optionally
+a binary files library can be managed on-board").  Memory words are
+protected by a (72,64)-style SEC-DED extended Hamming code, the
+standard EDAC for spacecraft memories: single-bit upsets are corrected
+on read, double-bit upsets are detected and reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OnboardMemory", "hamming_encode", "hamming_decode"]
+
+_DATA_BITS = 8  # per protected word (byte-wide EDAC keeps the model simple)
+_PARITY_BITS = 4  # Hamming(12,8)
+_EXTRA = 1  # overall parity for SEC-DED
+_WORD_BITS = _DATA_BITS + _PARITY_BITS + _EXTRA  # 13
+
+# parity-check positions for Hamming(12,8): parity bits at positions
+# 1,2,4,8 (1-indexed); data at the rest.
+_POSITIONS = np.arange(1, _DATA_BITS + _PARITY_BITS + 1)
+_DATA_POS = _POSITIONS[(_POSITIONS & (_POSITIONS - 1)) != 0]  # non powers of 2
+_PARITY_POS = _POSITIONS[(_POSITIONS & (_POSITIONS - 1)) == 0]
+
+
+def hamming_encode(byte: int) -> np.ndarray:
+    """Encode one byte into a 13-bit SEC-DED word (bit array)."""
+    if not 0 <= byte < 256:
+        raise ValueError("byte out of range")
+    word = np.zeros(_DATA_BITS + _PARITY_BITS, dtype=np.uint8)
+    data = [(byte >> i) & 1 for i in range(_DATA_BITS)]
+    for pos, bit in zip(_DATA_POS, data):
+        word[pos - 1] = bit
+    for p in _PARITY_POS:
+        covered = _POSITIONS[(np.bitwise_and(_POSITIONS, p)) != 0]
+        word[p - 1] = np.bitwise_xor.reduce(word[covered - 1])
+    overall = np.bitwise_xor.reduce(word)
+    return np.concatenate([word, [overall]]).astype(np.uint8)
+
+
+def hamming_decode(word: np.ndarray) -> tuple[int, str]:
+    """Decode a 13-bit word; returns ``(byte, status)``.
+
+    ``status`` is ``"ok"``, ``"corrected"`` or ``"double"`` (uncorrectable).
+    """
+    word = np.asarray(word, dtype=np.uint8)
+    if word.shape != (_WORD_BITS,):
+        raise ValueError(f"word must have {_WORD_BITS} bits")
+    body = word[:-1].copy()
+    overall = int(np.bitwise_xor.reduce(word))
+    syndrome = 0
+    for p in _PARITY_POS:
+        covered = _POSITIONS[(np.bitwise_and(_POSITIONS, p)) != 0]
+        if np.bitwise_xor.reduce(body[covered - 1]):
+            syndrome |= int(p)
+    status = "ok"
+    if syndrome and overall:
+        # single error at position `syndrome` -> correct
+        body[syndrome - 1] ^= 1
+        status = "corrected"
+    elif syndrome and not overall:
+        status = "double"
+    elif not syndrome and overall:
+        # error in the overall parity bit itself
+        status = "corrected"
+    byte = 0
+    for i, pos in enumerate(_DATA_POS):
+        byte |= int(body[pos - 1]) << i
+    return byte, status
+
+
+@dataclass
+class _File:
+    name: str
+    words: np.ndarray  # (n, 13) bit matrix
+
+
+class OnboardMemory:
+    """Byte-addressable store of named files with per-byte SEC-DED EDAC.
+
+    ``capacity_bytes`` bounds the total stored payload -- the paper notes
+    the on-board library "requires a lot of available memory on-board",
+    and benchmark C3 quantifies it.
+    """
+
+    def __init__(self, capacity_bytes: int = 4 << 20, edac: bool = True) -> None:
+        if capacity_bytes < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.edac = edac
+        self._files: dict[str, _File] = {}
+        self.scrub_corrections = 0
+
+    # -- capacity -------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(f.words) for f in self._files.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def files(self) -> list[str]:
+        """Names of stored files."""
+        return sorted(self._files)
+
+    # -- file operations ---------------------------------------------------
+    def store(self, name: str, data: bytes) -> None:
+        """Write (or replace) a file."""
+        old = len(self._files[name].words) if name in self._files else 0
+        if len(data) > self.free_bytes + old:
+            raise MemoryError(
+                f"storing {len(data)} bytes exceeds free capacity {self.free_bytes + old}"
+            )
+        words = np.vstack([hamming_encode(b) for b in data]) if data else np.zeros(
+            (0, _WORD_BITS), dtype=np.uint8
+        )
+        self._files[name] = _File(name, words)
+
+    def load(self, name: str) -> bytes:
+        """Read a file, correcting single-bit upsets per byte.
+
+        Raises :class:`IOError` on an uncorrectable (double) error.
+        """
+        f = self._get(name)
+        out = bytearray()
+        for i in range(len(f.words)):
+            byte, status = hamming_decode(f.words[i])
+            if status == "double":
+                raise IOError(f"uncorrectable EDAC error in {name!r} at byte {i}")
+            out.append(byte)
+        return bytes(out)
+
+    def delete(self, name: str) -> None:
+        """Remove a file (§3.2 step 4: 'unload the binary file')."""
+        self._get(name)
+        del self._files[name]
+
+    def _get(self, name: str) -> _File:
+        if name not in self._files:
+            raise KeyError(f"no such file {name!r}")
+        return self._files[name]
+
+    # -- radiation ------------------------------------------------------------
+    def upset_random_bits(self, count: int, rng: np.random.Generator) -> None:
+        """Flip ``count`` stored bits at random (SEU injection)."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        total = sum(f.words.size for f in self._files.values())
+        if total == 0 or count == 0:
+            return
+        names = sorted(self._files)
+        sizes = np.array([self._files[n].words.size for n in names])
+        bounds = np.cumsum(sizes)
+        for idx in rng.integers(0, total, size=count):
+            fi = int(np.searchsorted(bounds, idx, side="right"))
+            local = idx - (bounds[fi - 1] if fi else 0)
+            self._files[names[fi]].words.reshape(-1)[local] ^= 1
+
+    def scrub(self) -> int:
+        """EDAC scrub: rewrite every byte from its corrected value.
+
+        Returns the number of corrected words; uncorrectable words are
+        left in place (and will fail on load).
+        """
+        fixed = 0
+        for f in self._files.values():
+            for i in range(len(f.words)):
+                byte, status = hamming_decode(f.words[i])
+                if status == "corrected":
+                    f.words[i] = hamming_encode(byte)
+                    fixed += 1
+        self.scrub_corrections += fixed
+        return fixed

@@ -1,0 +1,204 @@
+"""SEU mitigation techniques (paper §4.3).
+
+The paper surveys four techniques; all are implemented here.
+
+Design-level (gate-hungry, "used only for critical designs"):
+
+- :class:`TmrProtectedFunction` -- tripling with majority vote; failure
+  probability ~ pe**2 (the paper's claim, reproduced by benchmark C5);
+- :class:`DuplicationWithComparison` -- doubling + XOR: detects but does
+  not correct.
+
+Device-level (exploiting readback + partial configuration [13]):
+
+- :class:`ReadbackScrubber` -- read back each CLB, compare to the golden
+  file (or compare per-CLB CRCs, "less gate consuming than memorizing
+  the file"), repair corrupted CLBs by partial reconfiguration;
+- :class:`BlindScrubber` -- no detection: periodically rewrite every
+  CLB ("SEU scrubbing; it is the most interesting solution for
+  satellite applications").
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .device import Fpga
+
+__all__ = [
+    "TmrProtectedFunction",
+    "DuplicationWithComparison",
+    "ReadbackScrubber",
+    "BlindScrubber",
+]
+
+
+@dataclass
+class TmrProtectedFunction:
+    """Triple modular redundancy with majority vote.
+
+    The function is instantiated three times; each replica is upset
+    independently with probability ``pe`` per evaluation.  The vote is
+    wrong only when >= 2 replicas are simultaneously wrong, so the
+    output error probability is ``3*pe^2*(1-pe) + pe^3 ~ pe^2`` -- the
+    paper states "(pe)^2" keeping the leading term.
+
+    The cost is the paper's caveat: ``gate_overhead`` = 3x replicas +
+    voters.
+    """
+
+    pe: float
+    replicas: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.pe <= 1.0:
+            raise ValueError("pe must be a probability")
+        if self.replicas != 3:
+            raise ValueError("TMR is defined for exactly 3 replicas")
+
+    def evaluate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Simulate ``n`` evaluations; returns a bool array (True = output wrong)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        upsets = rng.random((n, 3)) < self.pe
+        return upsets.sum(axis=1) >= 2
+
+    def theoretical_error_probability(self) -> float:
+        """Exact vote-failure probability 3 pe^2 (1-pe) + pe^3."""
+        pe = self.pe
+        return 3 * pe**2 * (1 - pe) + pe**3
+
+    def gate_overhead(self, function_gates: float, voter_gates: float = 100.0) -> float:
+        """Total gates: 3 replicas + voter (vs 1x unprotected)."""
+        return 3.0 * function_gates + voter_gates
+
+
+@dataclass
+class DuplicationWithComparison:
+    """Doubling + XOR comparison: detection without correction.
+
+    An upset in either replica is *detected* (the XOR miscompares); the
+    output remains wrong until an external repair -- matching the paper:
+    "The correction of the result is not performed."
+    """
+
+    pe: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.pe <= 1.0:
+            raise ValueError("pe must be a probability")
+
+    def evaluate(self, n: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+        """Simulate ``n`` evaluations.
+
+        Returns ``{"wrong", "detected"}`` bool arrays: ``wrong`` when the
+        primary replica was upset, ``detected`` when the two replicas
+        disagree (either upset, but not identically both).
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        a = rng.random(n) < self.pe
+        b = rng.random(n) < self.pe
+        return {"wrong": a, "detected": a ^ b}
+
+    def gate_overhead(self, function_gates: float, xor_gates: float = 50.0) -> float:
+        """Total gates: 2 replicas + comparator."""
+        return 2.0 * function_gates + xor_gates
+
+
+def _frame_crc(frame: np.ndarray) -> int:
+    """Per-CLB CRC32 (the paper's cheaper alternative to storing frames)."""
+    return zlib.crc32(np.packbits(frame).tobytes()) & 0xFFFFFFFF
+
+
+@dataclass
+class ReadbackScrubber:
+    """Readback-compare-repair engine.
+
+    ``mode="golden"`` compares the full frame against the stored golden
+    file; ``mode="crc"`` stores only per-CLB CRCs and compares those --
+    the memory-saving variant the paper describes.  Corrupted CLBs are
+    repaired through partial reconfiguration.
+    """
+
+    fpga: Fpga
+    mode: str = "crc"
+    _crc_table: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+    repairs: int = 0
+    scans: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("golden", "crc"):
+            raise ValueError("mode must be 'golden' or 'crc'")
+        if not self.fpga.supports_partial:
+            raise ValueError("readback repair needs partial reconfiguration")
+
+    def snapshot(self) -> None:
+        """Record reference CRCs of the (assumed clean) configuration."""
+        for r in range(self.fpga.rows):
+            for c in range(self.fpga.cols):
+                self._crc_table[(r, c)] = _frame_crc(self.fpga.golden_frame(r, c))
+
+    def scan_and_repair(self) -> int:
+        """One full detection+repair pass; returns CLBs repaired."""
+        self.scans += 1
+        fixed = 0
+        for r in range(self.fpga.rows):
+            for c in range(self.fpga.cols):
+                frame = self.fpga.readback(r, c)
+                if self.mode == "golden":
+                    bad = not np.array_equal(frame, self.fpga.golden_frame(r, c))
+                else:
+                    ref = self._crc_table.get((r, c))
+                    if ref is None:
+                        raise RuntimeError("call snapshot() before scanning")
+                    bad = _frame_crc(frame) != ref
+                if bad:
+                    self.fpga.repair_clb(r, c)
+                    fixed += 1
+        self.repairs += fixed
+        return fixed
+
+    def reference_memory_bits(self) -> int:
+        """Reference storage the detector needs (the paper's trade-off)."""
+        nclb = self.fpga.rows * self.fpga.cols
+        if self.mode == "golden":
+            return nclb * self.fpga.bits_per_clb
+        return nclb * 32  # one CRC32 per CLB
+
+
+@dataclass
+class BlindScrubber:
+    """Periodic blind rewrite of the whole configuration (SEU scrubbing).
+
+    No detection logic at all: every ``period`` seconds the full golden
+    image is rewritten through partial configuration, bounding the time
+    any upset can persist.  "The time between two programmations is
+    defined by the mission and application sensitivity."
+    """
+
+    fpga: Fpga
+    period: float = 60.0
+    scrubs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def scrub(self) -> None:
+        """One full rewrite from the golden image."""
+        self.fpga.rewrite_all_from_golden()
+        self.scrubs += 1
+
+    def expected_residual_upsets(self, upset_rate_per_second: float) -> float:
+        """Mean upsets present at a random observation time.
+
+        For Poisson arrivals at rate r scrubbed every T, the mean number
+        of standing upsets is ``r * T / 2``.
+        """
+        if upset_rate_per_second < 0:
+            raise ValueError("rate must be >= 0")
+        return upset_rate_per_second * self.period / 2.0

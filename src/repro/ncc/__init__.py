@@ -1,0 +1,23 @@
+"""Ground segment: the Network Control Center (NCC).
+
+The NCC drives reconfiguration campaigns over the Fig. 4 stack: it
+uploads bitstream files (TFTP / FTP / SCPS-FP over IP over the TM/TC
+link), issues the reconfiguration telecommands, monitors the CRC
+telemetry and distributes reconfiguration policies via COPS.
+"""
+
+from .campaign import CampaignResult, NetworkControlCenter, SatelliteGateway
+from .policy import PolicyDrivenSatellite, ReconfigurationPolicyServer
+from .traffic import MissionPlanner, PlannedChange, ServiceMix, TrafficModel
+
+__all__ = [
+    "CampaignResult",
+    "MissionPlanner",
+    "NetworkControlCenter",
+    "PlannedChange",
+    "PolicyDrivenSatellite",
+    "ReconfigurationPolicyServer",
+    "SatelliteGateway",
+    "ServiceMix",
+    "TrafficModel",
+]

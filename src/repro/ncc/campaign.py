@@ -1,0 +1,217 @@
+"""End-to-end reconfiguration campaigns (NCC -> satellite).
+
+Ties every piece of the reproduction together: the NCC picks a design
+from the registry, renders its bitstream, uploads it over the chosen
+file-transfer protocol (TFTP / FTP / SCPS-FP) riding IP over the TM/TC
+space link, commands the reconfiguration through a telecommand carried
+on UDP, and verifies the CRC telemetry that comes back -- the complete
+§3 scenario, in simulated time.
+
+:class:`SatelliteGateway` is the space-side counterpart: it terminates
+the upload protocols into the on-board bitstream library and maps the
+telecommand port onto the on-board controller.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.obc import OnBoardController, Telecommand
+from ..core.payload import RegenerativePayload
+from ..core.registry import FunctionRegistry
+from ..net import (
+    FtpClient,
+    FtpServer,
+    ScpsFpReceiver,
+    ScpsFpSender,
+    TftpClient,
+    TftpServer,
+    UdpSocket,
+)
+from ..net.simnet import Node
+from ..sim import Simulator
+
+__all__ = ["NetworkControlCenter", "SatelliteGateway", "CampaignResult"]
+
+TC_PORT = 2001
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one upload-and-reconfigure campaign."""
+
+    function: str
+    protocol: str
+    upload_seconds: float
+    command_seconds: float
+    success: bool
+    rolled_back: bool
+    crc: Optional[int]
+    telemetry: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.upload_seconds + self.command_seconds
+
+
+class SatelliteGateway:
+    """Space-side servers: upload endpoints + telecommand port.
+
+    Uploaded files land in a shared dict and are registered into the
+    payload's bitstream library when the ``store`` TC arrives (keeping
+    the upload path and the library bookkeeping separable, as §3.2 does).
+    """
+
+    def __init__(self, node: Node, payload: RegenerativePayload) -> None:
+        self.node = node
+        self.payload = payload
+        self.obc: OnBoardController = payload.obc
+        self.uploads: Dict[str, bytes] = {}
+        self.tftp = TftpServer(node.ip, self.uploads)
+        self.ftp = FtpServer(node.ip, self.uploads)
+        self.scps = ScpsFpReceiver(node.ip, files=self.uploads)
+        self._tc_sock = UdpSocket(node.ip, TC_PORT)
+        node.sim.process(self._tc_server(), name="sat-tc-server")
+
+    def _tc_server(self):
+        while True:
+            data, (addr, port) = yield self._tc_sock.recv()
+            try:
+                msg = json.loads(data.decode())
+                tc = Telecommand(msg["tc_id"], msg["action"], msg.get("args", {}))
+                if tc.action == "store":
+                    # resolve the uploaded file from the gateway store
+                    fname = tc.args["file"]
+                    blob = self.uploads.get(fname)
+                    if blob is None:
+                        raise KeyError(f"no uploaded file {fname!r}")
+                    tc = Telecommand(
+                        tc.tc_id,
+                        "store",
+                        {
+                            "function": tc.args["function"],
+                            "version": tc.args.get("version", 1),
+                            "data": blob,
+                        },
+                    )
+                tm = self.obc.execute(tc)
+                reply = {"tc_id": tm.tc_id, "success": tm.success,
+                         "payload": _jsonable(tm.payload)}
+            except Exception as exc:
+                reply = {"tc_id": msg.get("tc_id", -1) if isinstance(msg, dict) else -1,
+                         "success": False, "payload": {"error": str(exc)}}
+            self._tc_sock.sendto(json.dumps(reply).encode(), addr, port)
+
+
+def _jsonable(obj):
+    """Best-effort conversion of telemetry payloads to JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, bytes):
+        return obj.hex()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+class NetworkControlCenter:
+    """Ground-side campaign orchestration."""
+
+    def __init__(
+        self,
+        node: Node,
+        registry: FunctionRegistry,
+        sat_address: int,
+        fpga_geometry: tuple[int, int, int] = (16, 16, 64),
+    ) -> None:
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.registry = registry
+        self.sat_address = sat_address
+        self.geometry = fpga_geometry
+        self._tc_id = 0
+        self.results: list[CampaignResult] = []
+
+    # -- telecommand round trip ------------------------------------------------
+    def send_telecommand(self, action: str, args: dict):
+        """Generator: send a TC over UDP and return the TM reply dict."""
+        self._tc_id += 1
+        sock = UdpSocket(self.node.ip)
+        try:
+            msg = {"tc_id": self._tc_id, "action": action, "args": args}
+            sock.sendto(json.dumps(msg).encode(), self.sat_address, TC_PORT)
+            data, _src = yield sock.recv()
+            return json.loads(data.decode())
+        finally:
+            sock.close()
+
+    # -- uploads ----------------------------------------------------------------
+    def upload(self, filename: str, blob: bytes, protocol: str):
+        """Generator: push a file with the chosen N3 protocol."""
+        if protocol == "tftp":
+            client = TftpClient(self.node.ip, self.sat_address)
+            yield from client.write(filename, blob)
+        elif protocol == "ftp":
+            client = FtpClient(self.node.ip, self.sat_address)
+            yield from client.put(filename, blob)
+        elif protocol == "scps":
+            sender = ScpsFpSender(self.node.ip, self.sat_address, rate_bps=1e6)
+            yield from sender.put(filename, blob)
+        else:
+            raise ValueError(f"unknown protocol {protocol!r}")
+
+    # -- the full campaign ---------------------------------------------------------
+    def reconfigure_equipment(
+        self,
+        equipment: str,
+        function: str,
+        protocol: str = "ftp",
+        version: int = 1,
+    ):
+        """Generator: upload + store + reconfigure + collect telemetry.
+
+        Returns a :class:`CampaignResult`.
+        """
+        design = self.registry.get(function)
+        bitstream = design.bitstream_for(*self.geometry)
+        blob = bitstream.to_bytes()
+        filename = f"{function}@{version}.bit"
+
+        t0 = self.sim.now
+        yield from self.upload(filename, blob, protocol)
+        t_upload = self.sim.now - t0
+
+        t1 = self.sim.now
+        reply = yield from self.send_telecommand(
+            "store", {"file": filename, "function": function, "version": version}
+        )
+        if not reply["success"]:
+            result = CampaignResult(
+                function, protocol, t_upload, self.sim.now - t1,
+                False, False, None, reply["payload"],
+            )
+            self.results.append(result)
+            return result
+        reply = yield from self.send_telecommand(
+            "reconfigure",
+            {"equipment": equipment, "function": function, "version": version},
+        )
+        t_cmd = self.sim.now - t1
+        payload = reply["payload"]
+        result = CampaignResult(
+            function=function,
+            protocol=protocol,
+            upload_seconds=t_upload,
+            command_seconds=t_cmd,
+            success=bool(reply["success"]),
+            rolled_back=bool(payload.get("rolled_back", False)),
+            crc=payload.get("crc"),
+            telemetry=payload,
+        )
+        self.results.append(result)
+        return result

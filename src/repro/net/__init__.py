@@ -1,0 +1,56 @@
+"""Reconfiguration communication architecture (paper Fig. 4).
+
+Implements the three-level protocol stack the paper proposes for
+uploading FPGA configurations from the Network Control Center to the
+satellite, using standard Internet protocols over the TM/TC space link:
+
+- **N1 transfer system** (:mod:`repro.net.tmtc`, :mod:`repro.net.simnet`)
+  -- the GEO space link and the CCSDS-style TC channel/data-routing
+  services with *express* (BD) and *controlled* (AD, go-back-N ARQ)
+  virtual-channel modes.
+- **N2 data system** (:mod:`repro.net.ip`, :mod:`repro.net.udp`,
+  :mod:`repro.net.tcp`, :mod:`repro.net.ipsec`) -- IP with
+  fragmentation, UDP, a TCP with the RFC 2488 satellite options (large
+  windows), and an ESP-style ciphering layer ("a ciphering code is
+  performed on-board ... possibly itself reconfigurable").
+- **N3 reconfiguration system** (:mod:`repro.net.tftp`,
+  :mod:`repro.net.ftp`, :mod:`repro.net.scps`, :mod:`repro.net.cops`)
+  -- TFTP for small transfers (512-byte stop-and-wait), an FTP-like
+  streaming transfer and an SCPS-FP-like SNACK transfer for large
+  files, and COPS for pushing reconfiguration policies.
+"""
+
+from .simnet import Link, Node
+from .ip import IpStack, IpPacket, PROTO_UDP, PROTO_TCP, PROTO_ESP
+from .udp import UdpSocket
+from .tcp import TcpConnection, TcpListener
+from .tftp import TftpClient, TftpServer, TFTP_BLOCK_SIZE
+from .ftp import FtpClient, FtpServer
+from .scps import ScpsFpReceiver, ScpsFpSender
+from .cops import CopsClient, CopsServer, Decision, Report, Request
+from .ipsec import EspTunnel
+
+__all__ = [
+    "CopsClient",
+    "CopsServer",
+    "Decision",
+    "EspTunnel",
+    "FtpClient",
+    "FtpServer",
+    "IpPacket",
+    "IpStack",
+    "Link",
+    "Node",
+    "PROTO_ESP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Report",
+    "Request",
+    "ScpsFpReceiver",
+    "ScpsFpSender",
+    "TFTP_BLOCK_SIZE",
+    "TcpConnection",
+    "TcpListener",
+    "TftpClient",
+    "TftpServer",
+]

@@ -1,0 +1,137 @@
+"""FTP-like file transfer over TCP.
+
+The paper (§3.3): "For large transfer, FTP protocol ... may be
+employed."  We implement the part that matters to the reconfiguration
+study -- a named-file transfer over a TCP stream -- with a compact
+binary framing instead of the RFC 959 control/data channel pair (one
+GEO round trip of handshake instead of several; the windowed TCP
+transport underneath is what gives FTP its large-file advantage over
+TFTP, and that is preserved).
+
+Frames: ``PUT <name> <size>`` / ``GET <name>`` requests, ``DAT`` stream,
+``ERR`` replies.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from ..sim import Simulator
+from .ip import IpStack
+from .tcp import TcpConnection, TcpListener
+
+__all__ = ["FtpServer", "FtpClient", "FtpError"]
+
+
+class FtpError(RuntimeError):
+    """Transfer failed."""
+
+
+_REQ = struct.Struct(">BHI")  # op, name length, payload size
+_OP_PUT, _OP_GET, _OP_OK, _OP_ERR = 1, 2, 3, 4
+
+
+def _recv_exact(conn: TcpConnection, n: int):
+    """Generator: read exactly n bytes from a TCP connection."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = yield conn.recv()
+        if chunk is None:
+            raise FtpError("connection closed mid-transfer")
+        buf.extend(chunk)
+    # any excess stays lost: callers size their reads exactly, and our
+    # receive path delivers segment-aligned chunks, so this cannot drop data
+    if len(buf) != n:
+        extra = bytes(buf[n:])
+        conn._recv_q.items.insert(0, extra)
+        del buf[n:]
+    return bytes(buf)
+
+
+class FtpServer:
+    """Stores files in a dict; serves PUT and GET."""
+
+    def __init__(self, stack: IpStack, files: Optional[Dict[str, bytes]] = None, port: int = 21, window: int = 262_144):
+        self.sim: Simulator = stack.node.sim
+        self.files: Dict[str, bytes] = files if files is not None else {}
+        self.listener = TcpListener(stack, port, window=window)
+        self.transfers = 0
+        self.sim.process(self._serve(), name="ftp-server")
+
+    def _serve(self):
+        while True:
+            conn = yield self.listener.accept()
+            self.sim.process(self._session(conn), name="ftp-session")
+
+    def _session(self, conn: TcpConnection):
+        try:
+            hdr = yield from _recv_exact(conn, _REQ.size)
+            op, name_len, size = _REQ.unpack(hdr)
+            name = (yield from _recv_exact(conn, name_len)).decode()
+            if op == _OP_PUT:
+                data = yield from _recv_exact(conn, size)
+                self.files[name] = data
+                conn.send(_REQ.pack(_OP_OK, 0, len(data)))
+                self.transfers += 1
+            elif op == _OP_GET:
+                if name not in self.files:
+                    conn.send(_REQ.pack(_OP_ERR, 0, 0))
+                else:
+                    payload = self.files[name]
+                    conn.send(_REQ.pack(_OP_OK, 0, len(payload)))
+                    conn.send(payload)
+                    self.transfers += 1
+            conn.close()
+        except FtpError:
+            pass
+
+
+class FtpClient:
+    """Generator-style client: ``yield from client.put(name, data)``."""
+
+    # Local ports are never reused within a process: a reused port would
+    # alias a finished connection still present in the TCP demux.
+    _port_counter = 46000
+
+    def __init__(self, stack: IpStack, server_addr: int, port: int = 21, window: int = 262_144):
+        self.stack = stack
+        self.sim: Simulator = stack.node.sim
+        self.server_addr = server_addr
+        self.port = port
+        self.window = window
+
+    def _connect(self):
+        FtpClient._port_counter += 1
+        conn = TcpConnection(
+            self.stack, FtpClient._port_counter, self.server_addr, self.port,
+            window=self.window,
+        )
+        yield conn.connect()
+        return conn
+
+    def put(self, name: str, payload: bytes):
+        """Upload a file; returns when the server confirms."""
+        conn = yield from self._connect()
+        nm = name.encode()
+        conn.send(_REQ.pack(_OP_PUT, len(nm), len(payload)) + nm)
+        conn.send(payload)
+        reply = yield from _recv_exact(conn, _REQ.size)
+        op, _, echoed = _REQ.unpack(reply)
+        conn.close()
+        if op != _OP_OK or echoed != len(payload):
+            raise FtpError(f"PUT {name!r} failed")
+
+    def get(self, name: str):
+        """Download a file; returns its bytes."""
+        conn = yield from self._connect()
+        nm = name.encode()
+        conn.send(_REQ.pack(_OP_GET, len(nm), 0) + nm)
+        reply = yield from _recv_exact(conn, _REQ.size)
+        op, _, size = _REQ.unpack(reply)
+        if op != _OP_OK:
+            conn.close()
+            raise FtpError(f"GET {name!r}: not found")
+        data = yield from _recv_exact(conn, size)
+        conn.close()
+        return data

@@ -1,0 +1,182 @@
+"""Minimal IP layer (paper §3.3: "IP: addresses are assigned to
+satellite devices").
+
+Real header encoding (a 12-byte fixed header inspired by IPv4), header
+checksum verified on receive, and fragmentation/reassembly to the link
+MTU -- the mechanics the data-system level needs so that "reconfiguration
+of satellite is done by sending / receiving standard packets".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+__all__ = ["IpPacket", "IpStack", "PROTO_UDP", "PROTO_TCP", "PROTO_ESP"]
+
+PROTO_UDP = 17
+PROTO_TCP = 6
+PROTO_ESP = 50
+
+_HDR = struct.Struct(">BBHHHIIH")  # ver, proto, length, id, frag, src, dst, cksum
+_MORE_FRAGMENTS = 0x8000
+_OFFSET_MASK = 0x1FFF  # offset in 8-byte units
+
+
+def _checksum(data: bytes) -> int:
+    """16-bit one's-complement sum (IPv4-style)."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f">{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass
+class IpPacket:
+    """A parsed IP datagram (possibly a fragment)."""
+
+    src: int
+    dst: int
+    proto: int
+    ident: int
+    payload: bytes
+    more_fragments: bool = False
+    offset: int = 0  # bytes
+
+    def encode(self) -> bytes:
+        """Serialize with header checksum."""
+        if self.offset % 8:
+            raise ValueError("fragment offset must be 8-byte aligned")
+        frag = (self.offset // 8) & _OFFSET_MASK
+        if self.more_fragments:
+            frag |= _MORE_FRAGMENTS
+        hdr = _HDR.pack(
+            4,
+            self.proto,
+            _HDR.size + len(self.payload),
+            self.ident & 0xFFFF,
+            frag,
+            self.src,
+            self.dst,
+            0,
+        )
+        ck = _checksum(hdr)
+        hdr = hdr[:-2] + struct.pack(">H", ck)
+        return hdr + self.payload
+
+    @classmethod
+    def decode(cls, frame: bytes) -> "IpPacket":
+        """Parse and verify a frame; raises ValueError on corruption."""
+        if len(frame) < _HDR.size:
+            raise ValueError("frame shorter than IP header")
+        ver, proto, length, ident, frag, src, dst, ck = _HDR.unpack(
+            frame[: _HDR.size]
+        )
+        if ver != 4:
+            raise ValueError(f"bad version {ver}")
+        hdr_zeroed = frame[: _HDR.size - 2] + b"\x00\x00"
+        if _checksum(hdr_zeroed) != ck:
+            raise ValueError("IP header checksum mismatch")
+        if length != len(frame):
+            raise ValueError("IP length field mismatch")
+        return cls(
+            src=src,
+            dst=dst,
+            proto=proto,
+            ident=ident,
+            payload=frame[_HDR.size :],
+            more_fragments=bool(frag & _MORE_FRAGMENTS),
+            offset=(frag & _OFFSET_MASK) * 8,
+        )
+
+
+class IpStack:
+    """Per-node IP: send with fragmentation, receive with reassembly.
+
+    Protocol handlers are registered by number (UDP 17, TCP 6, ESP 50)
+    and invoked with complete, reassembled datagrams.
+    """
+
+    def __init__(self, node, mtu: int = 1024) -> None:
+        if mtu < 64:
+            raise ValueError("mtu too small")
+        self.node = node
+        self.mtu = mtu
+        self._next_id = 1
+        self._handlers: Dict[int, Callable[[IpPacket], None]] = {}
+        self._reassembly: Dict[tuple[int, int], dict] = {}
+        self.stats = {"sent": 0, "received": 0, "fragments": 0, "bad": 0}
+
+    def register_protocol(self, proto: int, handler: Callable[[IpPacket], None]) -> None:
+        """Attach the upper-layer receive callback for a protocol number."""
+        self._handlers[proto] = handler
+
+    # -- send -----------------------------------------------------------
+    def send(self, dst: int, proto: int, payload: bytes) -> None:
+        """Send a datagram, fragmenting to the MTU when needed."""
+        ident = self._next_id
+        self._next_id = (self._next_id + 1) & 0xFFFF or 1
+        max_data = (self.mtu - _HDR.size) // 8 * 8
+        self.stats["sent"] += 1
+        if _HDR.size + len(payload) <= self.mtu:
+            pkt = IpPacket(self.node.address, dst, proto, ident, payload)
+            self.node.send_frame(pkt.encode())
+            return
+        off = 0
+        while off < len(payload):
+            chunk = payload[off : off + max_data]
+            more = off + len(chunk) < len(payload)
+            pkt = IpPacket(
+                self.node.address,
+                dst,
+                proto,
+                ident,
+                chunk,
+                more_fragments=more,
+                offset=off,
+            )
+            self.node.send_frame(pkt.encode())
+            self.stats["fragments"] += 1
+            off += len(chunk)
+
+    # -- receive ----------------------------------------------------------
+    def receive_frame(self, frame: bytes) -> None:
+        """Entry point from the link layer."""
+        try:
+            pkt = IpPacket.decode(frame)
+        except ValueError:
+            self.stats["bad"] += 1
+            return
+        if pkt.dst != self.node.address:
+            return  # not ours (no routing on a point-to-point hop)
+        if pkt.more_fragments or pkt.offset:
+            pkt = self._reassemble(pkt)
+            if pkt is None:
+                return
+        self.stats["received"] += 1
+        handler = self._handlers.get(pkt.proto)
+        if handler is not None:
+            handler(pkt)
+
+    def _reassemble(self, frag: IpPacket) -> Optional[IpPacket]:
+        key = (frag.src, frag.ident)
+        entry = self._reassembly.setdefault(
+            key, {"parts": {}, "total": None}
+        )
+        entry["parts"][frag.offset] = frag.payload
+        if not frag.more_fragments:
+            entry["total"] = frag.offset + len(frag.payload)
+        total = entry["total"]
+        if total is None:
+            return None
+        have = sum(len(p) for p in entry["parts"].values())
+        if have < total:
+            return None
+        data = bytearray(total)
+        for off, part in entry["parts"].items():
+            data[off : off + len(part)] = part
+        del self._reassembly[key]
+        return IpPacket(frag.src, frag.dst, frag.proto, frag.ident, bytes(data))

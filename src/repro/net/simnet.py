@@ -1,0 +1,146 @@
+"""Simulated point-to-point links and network nodes.
+
+The paper's reference scenario is a single hop: Network Control Center
+<-> geostationary satellite ("the transfer is between two adjacent
+points ... without routing").  :class:`Link` models that hop with the
+three parameters that drive every protocol conclusion in §3.3:
+
+- **propagation delay** (~0.25 s one way to GEO, so a 0.5 s
+  round-trip that cripples stop-and-wait protocols),
+- **data rate** (TC uplinks are narrow; serialization matters),
+- **bit error rate** (residual errors drop frames and force ARQ).
+
+A :class:`Node` owns an :class:`repro.net.ip.IpStack` and can be
+attached to one or more links.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..sim import Simulator
+
+__all__ = ["Link", "Node", "GEO_ONE_WAY_DELAY"]
+
+#: One-way propagation delay to a geostationary satellite (seconds).
+GEO_ONE_WAY_DELAY = 0.25
+
+
+class Link:
+    """Full-duplex point-to-point link with delay, rate and BER.
+
+    Frames are serialized FIFO per direction (a busy direction queues),
+    then arrive ``delay`` seconds later.  Each frame survives with
+    probability ``(1 - ber) ** bits``; corrupted frames are dropped (the
+    link layer's CRC would discard them) and counted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float = GEO_ONE_WAY_DELAY,
+        rate_bps: float = 1e6,
+        ber: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "link",
+        error_mode: str = "drop",
+    ) -> None:
+        if delay < 0 or rate_bps <= 0:
+            raise ValueError("delay must be >= 0 and rate positive")
+        if not 0.0 <= ber < 1.0:
+            raise ValueError("ber must be in [0, 1)")
+        if ber > 0.0 and rng is None:
+            raise ValueError("a lossy link needs an rng")
+        if error_mode not in ("drop", "flip"):
+            raise ValueError("error_mode must be 'drop' or 'flip'")
+        self.sim = sim
+        self.delay = delay
+        self.rate_bps = rate_bps
+        self.ber = ber
+        self.rng = rng
+        self.name = name
+        #: "drop" discards whole corrupted frames (a link-layer CRC
+        #: would); "flip" delivers frames with independent bit errors,
+        #: letting channel coding (e.g. the BCH CLTU) correct them.
+        self.error_mode = error_mode
+        self._endpoints: list["Node"] = []
+        # per-direction serialization cursor (when the TX becomes free)
+        self._tx_free: dict[int, float] = {0: 0.0, 1: 0.0}
+        self.stats = {"frames": 0, "dropped": 0, "bytes": 0}
+
+    def attach(self, node: "Node") -> None:
+        """Connect an endpoint (exactly two per link)."""
+        if len(self._endpoints) >= 2:
+            raise ValueError("link already has two endpoints")
+        self._endpoints.append(node)
+        node._links.append(self)
+
+    def peer_of(self, node: "Node") -> "Node":
+        """The other endpoint."""
+        if node not in self._endpoints or len(self._endpoints) != 2:
+            raise ValueError("link not fully attached")
+        a, b = self._endpoints
+        return b if node is a else a
+
+    def transmit(self, sender: "Node", frame: bytes) -> None:
+        """Send a frame to the peer (fire-and-forget, simulated time)."""
+        peer = self.peer_of(sender)
+        direction = self._endpoints.index(sender)
+        bits = 8 * len(frame)
+        ser = bits / self.rate_bps
+        now = self.sim.now
+        start = max(now, self._tx_free[direction])
+        done = start + ser
+        self._tx_free[direction] = done
+        self.stats["frames"] += 1
+        self.stats["bytes"] += len(frame)
+
+        if self.ber > 0.0:
+            if self.error_mode == "drop":
+                p_ok = (1.0 - self.ber) ** bits
+                if not (self.rng.random() < p_ok):
+                    self.stats["dropped"] += 1
+                    return
+            else:  # flip: deliver with independent bit errors
+                n_err = int(self.rng.binomial(bits, self.ber))
+                if n_err:
+                    arr = np.frombuffer(frame, dtype=np.uint8).copy()
+                    positions = self.rng.integers(0, bits, size=n_err)
+                    for pos in positions:
+                        arr[pos // 8] ^= 1 << (7 - (pos % 8))
+                    frame = arr.tobytes()
+                    self.stats["flipped_bits"] = (
+                        self.stats.get("flipped_bits", 0) + n_err
+                    )
+        arrival = done + self.delay
+        self.sim.call_at(arrival, lambda: peer._deliver(frame))
+
+
+class Node:
+    """A network endpoint (NCC ground station or satellite platform)."""
+
+    def __init__(self, sim: Simulator, name: str, address: int) -> None:
+        from .ip import IpStack  # deferred: circular import
+
+        self.sim = sim
+        self.name = name
+        self.address = address
+        self._links: list[Link] = []
+        self.ip = IpStack(self)
+        #: when set, replaces the default frame delivery into the IP stack
+        #: (the TMTC layer installs itself here to slide under IP)
+        self.frame_tap: Optional[Callable[[bytes], None]] = None
+
+    def send_frame(self, frame: bytes) -> None:
+        """Transmit a raw frame on the node's (single-hop) link."""
+        if not self._links:
+            raise RuntimeError(f"{self.name} has no attached link")
+        self._links[0].transmit(self, frame)
+
+    def _deliver(self, frame: bytes) -> None:
+        if self.frame_tap is not None:
+            self.frame_tap(frame)
+        else:
+            self.ip.receive_frame(frame)

@@ -1,0 +1,347 @@
+"""TCP: reliable byte-stream transport with satellite tuning.
+
+The paper (§3.3): "TCP (for a controlled transfer) ... Specific versions
+for satellite context have been already defined (they concern the
+segment size, the window mechanism...)" -- citing RFC 2488, *Enhancing
+TCP Over Satellite Channels using Standard Mechanisms*.
+
+This implementation provides the mechanisms that matter over a 0.5 s
+GEO round trip:
+
+- three-way handshake and FIN teardown;
+- cumulative ACKs with a go-back-N retransmission model;
+- **slow start / congestion avoidance** (RFC 2488 §5.2-5.3), and
+- a configurable maximum window (``window`` -- RFC 2488's window-scaling
+  recommendation is modeled by simply allowing windows > 64 KiB).
+
+Throughput is window-limited at ``min(cwnd, window) / RTT``, which is
+exactly the satellite-link behavior benchmark C4 sweeps.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..sim import Event, Simulator, Store
+from .ip import IpPacket, IpStack, PROTO_TCP
+
+__all__ = ["TcpConnection", "TcpListener"]
+
+_HDR = struct.Struct(">HHIIBI")  # sport, dport, seq, ack, flags, window
+_SYN, _ACK, _FIN = 0x02, 0x10, 0x01
+
+
+def _demux_for(stack: IpStack) -> dict:
+    """Per-stack TCP demux keyed by (local_port, remote_addr, remote_port).
+
+    Listeners are keyed ``(port, None, None)``.
+    """
+    demux = getattr(stack, "_tcp_demux", None)
+    if demux is None:
+        demux = {}
+        stack._tcp_demux = demux
+
+        def handler(pkt: IpPacket) -> None:
+            if len(pkt.payload) < _HDR.size:
+                return
+            sport, dport, seq, ack, flags, window = _HDR.unpack(
+                pkt.payload[: _HDR.size]
+            )
+            data = pkt.payload[_HDR.size :]
+            conn = demux.get((dport, pkt.src, sport))
+            if conn is not None:
+                conn._on_segment(seq, ack, flags, window, data)
+                return
+            listener = demux.get((dport, None, None))
+            if listener is not None and flags & _SYN and not flags & _ACK:
+                listener._on_syn(pkt.src, sport, seq)
+
+        stack.register_protocol(PROTO_TCP, handler)
+    return demux
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection.
+
+    Use :meth:`connect` (client) or :class:`TcpListener` (server).  The
+    API is generator-friendly: ``yield conn.connect()``,
+    ``conn.send(data)``, ``data = yield conn.recv()`` (``None`` = EOF),
+    ``yield conn.wait_closed()``.
+    """
+
+    MSS = 512
+
+    def __init__(
+        self,
+        stack: IpStack,
+        local_port: int,
+        remote_addr: int,
+        remote_port: int,
+        window: int = 65_535,
+        rto: float = 1.5,
+        slow_start: bool = True,
+    ) -> None:
+        if window < self.MSS:
+            raise ValueError("window must be at least one MSS")
+        self.stack = stack
+        self.sim: Simulator = stack.node.sim
+        self.local_port = local_port
+        self.remote = (remote_addr, remote_port)
+        self.window = window
+        self.rto = rto
+        self.slow_start = slow_start
+
+        self.state = "CLOSED"
+        # send side
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.iss = 0
+        self._send_buf = bytearray()
+        self._send_base_seq = self.iss + 1  # seq of _send_buf[0] (SYN takes one)
+        self.cwnd = self.MSS if slow_start else window
+        self.ssthresh = window
+        self.peer_window = window
+        self._fin_queued = False
+        self._fin_sent = False
+        # receive side
+        self.rcv_nxt = 0
+        self._recv_q = Store(self.sim)
+        self._fin_received = False
+        # bookkeeping
+        self._timer_gen = 0
+        self._timer_armed = False
+        self._established_ev: Optional[Event] = None
+        self._closed_ev: Optional[Event] = None
+        self.stats = {"retransmits": 0, "segments_out": 0, "segments_in": 0}
+        _demux_for(stack)[(local_port, remote_addr, remote_port)] = self
+
+    # -- public API --------------------------------------------------------
+    def connect(self) -> Event:
+        """Initiate the handshake; the event fires when ESTABLISHED."""
+        if self.state != "CLOSED":
+            raise OSError(f"connect() in state {self.state}")
+        self.state = "SYN_SENT"
+        self._established_ev = Event(self.sim)
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss + 1  # SYN consumes a sequence number
+        self._emit(self.iss, self.rcv_nxt, _SYN, b"")
+        self._arm_timer()
+        return self._established_ev
+
+    def send(self, data: bytes) -> None:
+        """Queue bytes for transmission (window permitting, sends now)."""
+        if self.state not in ("ESTABLISHED", "SYN_SENT", "SYN_RCVD"):
+            raise OSError(f"send() in state {self.state}")
+        if self._fin_queued:
+            raise OSError("send() after close()")
+        self._send_buf.extend(data)
+        if self.state == "ESTABLISHED":
+            self._pump()
+
+    def recv(self) -> Event:
+        """Event yielding the next in-order chunk (``None`` at EOF)."""
+        return self._recv_q.get()
+
+    def close(self) -> None:
+        """Half-close: FIN is sent once all queued data is acknowledged."""
+        if self._fin_queued:
+            return
+        self._fin_queued = True
+        self._closed_ev = self._closed_ev or Event(self.sim)
+        if self.state == "ESTABLISHED":
+            self._pump()
+
+    def wait_closed(self) -> Event:
+        """Event firing when our FIN has been acknowledged."""
+        self._closed_ev = self._closed_ev or Event(self.sim)
+        return self._closed_ev
+
+    @property
+    def bytes_unacked(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    # -- segment emission ----------------------------------------------------
+    def _emit(self, seq: int, ack: int, flags: int, data: bytes) -> None:
+        hdr = _HDR.pack(
+            self.local_port, self.remote[1], seq, ack, flags, self.window
+        )
+        self.stats["segments_out"] += 1
+        self.stack.send(self.remote[0], PROTO_TCP, hdr + data)
+
+    def _effective_window(self) -> int:
+        return min(self.cwnd, self.peer_window, self.window)
+
+    def _pump(self) -> None:
+        """Send as much buffered data as the window allows."""
+        while True:
+            in_flight = self.snd_nxt - self.snd_una
+            budget = self._effective_window() - in_flight
+            off = self.snd_nxt - self._send_base_seq
+            remaining = len(self._send_buf) - off
+            if budget < 1 or remaining < 1 or off < 0:
+                break
+            chunk = bytes(self._send_buf[off : off + min(self.MSS, budget, remaining)])
+            if not chunk:  # defensive: never spin on empty segments
+                break
+            self._emit(self.snd_nxt, self.rcv_nxt, _ACK, chunk)
+            self.snd_nxt += len(chunk)
+            self._arm_timer()
+        # FIN after all data is out
+        if (
+            self._fin_queued
+            and not self._fin_sent
+            and self.snd_nxt - self._send_base_seq == len(self._send_buf)
+        ):
+            self._emit(self.snd_nxt, self.rcv_nxt, _FIN | _ACK, b"")
+            self.snd_nxt += 1
+            self._fin_sent = True
+            self._arm_timer()
+
+    # -- timers ----------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        if self._timer_armed:
+            return
+        self._timer_armed = True
+        self._timer_gen += 1
+        gen = self._timer_gen
+        self.sim.call_at(self.sim.now + self.rto, lambda: self._on_timeout(gen))
+
+    def _restart_timer(self) -> None:
+        self._timer_armed = False
+        if self.snd_nxt != self.snd_una:
+            self._arm_timer()
+
+    def _on_timeout(self, gen: int) -> None:
+        if gen != self._timer_gen or not self._timer_armed:
+            return
+        self._timer_armed = False
+        if self.snd_una == self.snd_nxt and self.state in ("ESTABLISHED", "CLOSED"):
+            return
+        self.stats["retransmits"] += 1
+        # congestion response (RFC 2488 5.3 behavior)
+        if self.slow_start:
+            self.ssthresh = max(self.bytes_unacked // 2, 2 * self.MSS)
+            self.cwnd = self.MSS
+        if self.state == "SYN_SENT":
+            self._emit(self.iss, self.rcv_nxt, _SYN, b"")
+        elif self.state == "SYN_RCVD":
+            self._emit(self.iss, self.rcv_nxt, _SYN | _ACK, b"")
+        else:
+            # go-back-N: rewind and resend from the first unacked byte
+            self.snd_nxt = self.snd_una
+            self._fin_sent = False
+            self._pump()
+        self._arm_timer()
+
+    # -- segment arrival ----------------------------------------------------
+    def _on_segment(self, seq: int, ack: int, flags: int, window: int, data: bytes) -> None:
+        self.stats["segments_in"] += 1
+        self.peer_window = max(window, self.MSS)
+
+        if self.state == "SYN_SENT":
+            if flags & _SYN and flags & _ACK and ack == self.snd_nxt:
+                self.rcv_nxt = seq + 1
+                self.snd_una = ack
+                self.state = "ESTABLISHED"
+                self._emit(self.snd_nxt, self.rcv_nxt, _ACK, b"")
+                if self._established_ev and not self._established_ev.triggered:
+                    self._established_ev.succeed(self)
+                self._restart_timer()
+                self._pump()
+            return
+
+        if self.state == "SYN_RCVD":
+            if flags & _ACK and ack == self.snd_nxt:
+                self.snd_una = ack
+                self.state = "ESTABLISHED"
+                if self._established_ev and not self._established_ev.triggered:
+                    self._established_ev.succeed(self)
+                self._restart_timer()
+                self._pump()
+            # fall through: the ACK may carry data
+
+        # ACK processing
+        if flags & _ACK and self.state in ("ESTABLISHED", "FIN_WAIT"):
+            if self.snd_una < ack <= self.snd_nxt:
+                acked = ack - self.snd_una
+                self.snd_una = ack
+                if self.slow_start:
+                    if self.cwnd < self.ssthresh:
+                        self.cwnd += min(acked, self.MSS)
+                    else:
+                        self.cwnd += max(1, self.MSS * self.MSS // self.cwnd)
+                self._restart_timer()
+                fin_end = self._send_base_seq + len(self._send_buf) + 1
+                if self._fin_sent and ack == fin_end:
+                    if self._closed_ev and not self._closed_ev.triggered:
+                        self._closed_ev.succeed(None)
+                self._pump()
+
+        # data processing (in-order only; out-of-order dropped = go-back-N)
+        if data:
+            if seq == self.rcv_nxt:
+                self.rcv_nxt += len(data)
+                self._recv_q.put(bytes(data))
+                if flags & _FIN:
+                    self.rcv_nxt += 1
+                    self._fin_received = True
+                    self._recv_q.put(None)
+                self._emit(self.snd_nxt, self.rcv_nxt, _ACK, b"")
+            else:
+                self._emit(self.snd_nxt, self.rcv_nxt, _ACK, b"")  # dup ACK
+        elif flags & _FIN:
+            if seq == self.rcv_nxt and not self._fin_received:
+                self.rcv_nxt += 1
+                self._fin_received = True
+                self._recv_q.put(None)
+            self._emit(self.snd_nxt, self.rcv_nxt, _ACK, b"")
+
+    # -- server-side bootstrap ------------------------------------------------
+    def _accept_syn(self, peer_seq: int) -> None:
+        """Initialize as a passive endpoint answering a SYN."""
+        self.state = "SYN_RCVD"
+        self.rcv_nxt = peer_seq + 1
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss + 1
+        self._established_ev = self._established_ev or Event(self.sim)
+        self._emit(self.iss, self.rcv_nxt, _SYN | _ACK, b"")
+        self._arm_timer()
+
+
+class TcpListener:
+    """Passive endpoint: accepts connections on a port.
+
+    ``accept()`` returns an event yielding an ESTABLISHED-bound
+    :class:`TcpConnection` (it may still be completing its handshake;
+    receive/send work regardless).
+    """
+
+    def __init__(self, stack: IpStack, port: int, window: int = 65_535, rto: float = 1.5):
+        self.stack = stack
+        self.port = port
+        self.window = window
+        self.rto = rto
+        self._accept_q = Store(stack.node.sim)
+        demux = _demux_for(stack)
+        key = (port, None, None)
+        if key in demux:
+            raise OSError(f"port {port} already listening")
+        demux[key] = self
+
+    def accept(self) -> Event:
+        """Event yielding the next accepted :class:`TcpConnection`."""
+        return self._accept_q.get()
+
+    def _on_syn(self, src_addr: int, src_port: int, seq: int) -> None:
+        key = (self.port, src_addr, src_port)
+        demux = _demux_for(self.stack)
+        if key in demux:  # duplicate SYN (retransmitted): re-answer
+            demux[key]._accept_syn(seq)
+            return
+        conn = TcpConnection(
+            self.stack, self.port, src_addr, src_port,
+            window=self.window, rto=self.rto,
+        )
+        conn._accept_syn(seq)
+        self._accept_q.put(conn)

@@ -1,0 +1,276 @@
+"""TFTP (RFC 1350 semantics) over UDP.
+
+The paper (§3.3): "IETF TFTP protocol based on UDP, is used by a client
+asking a server for reading or writing a file.  As TFTP sends just one
+block up to 512 bytes and then stops until the reception of the
+acknowledgement, it has to be used only for small transfer for
+efficiency reason, during the set-up or the test phases."
+
+Benchmark C4 reproduces exactly that conclusion: over a 0.5 s GEO round
+trip the stop-and-wait cadence caps throughput at 512 B / RTT ~ 1 kB/s
+regardless of link rate.
+
+Opcodes and the 512-byte block/stop-and-wait state machine follow
+RFC 1350 (octet mode); options (RFC 2347/2348) are deliberately absent,
+as in the paper's era.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional
+
+from ..sim import Simulator
+from .ip import IpStack
+from .udp import UdpSocket
+
+__all__ = ["TftpServer", "TftpClient", "TFTP_BLOCK_SIZE", "TftpError"]
+
+TFTP_BLOCK_SIZE = 512
+
+_OP_RRQ, _OP_WRQ, _OP_DATA, _OP_ACK, _OP_ERROR = 1, 2, 3, 4, 5
+
+
+class TftpError(RuntimeError):
+    """Transfer failed (ERROR packet or retry exhaustion)."""
+
+
+def _pack_req(op: int, filename: str) -> bytes:
+    return struct.pack(">H", op) + filename.encode() + b"\x00octet\x00"
+
+
+def _parse_req(data: bytes) -> str:
+    name, _mode = data.split(b"\x00")[0:2]
+    return name.decode()
+
+
+class TftpServer:
+    """Serves files from a dict-like store (read) and into it (write)."""
+
+    def __init__(self, stack: IpStack, files: Optional[Dict[str, bytes]] = None, port: int = 69):
+        self.sim: Simulator = stack.node.sim
+        self.stack = stack
+        self.files: Dict[str, bytes] = files if files is not None else {}
+        self.sock = UdpSocket(stack, port)
+        self.transfers = 0
+        self.sim.process(self._serve(), name="tftp-server")
+
+    def _serve(self):
+        while True:
+            data, (addr, port) = yield self.sock.recv()
+            if len(data) < 2:
+                continue
+            (op,) = struct.unpack(">H", data[:2])
+            if op == _OP_RRQ:
+                name = _parse_req(data[2:])
+                self.sim.process(
+                    self._send_file(name, addr, port), name=f"tftp-rd-{name}"
+                )
+            elif op == _OP_WRQ:
+                name = _parse_req(data[2:])
+                self.sim.process(
+                    self._recv_file(name, addr, port), name=f"tftp-wr-{name}"
+                )
+
+    def _send_file(self, name: str, addr: int, port: int):
+        sock = UdpSocket(self.stack)  # new TID per RFC 1350
+        try:
+            if name not in self.files:
+                sock.sendto(
+                    struct.pack(">HH", _OP_ERROR, 1) + b"not found\x00", addr, port
+                )
+                return
+            payload = self.files[name]
+            nblocks = len(payload) // TFTP_BLOCK_SIZE + 1
+            for block in range(1, nblocks + 1):
+                chunk = payload[(block - 1) * TFTP_BLOCK_SIZE : block * TFTP_BLOCK_SIZE]
+                pkt = struct.pack(">HH", _OP_DATA, block & 0xFFFF) + chunk
+                for _attempt in range(8):
+                    sock.sendto(pkt, addr, port)
+                    got = yield _recv_or_timeout(self.sim, sock, 2.0)
+                    if got is None:
+                        continue
+                    data, _src = got
+                    if len(data) >= 4:
+                        op, acked = struct.unpack(">HH", data[:4])
+                        if op == _OP_ACK and acked == block & 0xFFFF:
+                            break
+                else:
+                    return  # give up silently (client will error out)
+            self.transfers += 1
+        finally:
+            sock.close()
+
+    def _recv_file(self, name: str, addr: int, port: int):
+        sock = UdpSocket(self.stack)
+        try:
+            buf = bytearray()
+            expected = 1
+            sock.sendto(struct.pack(">HH", _OP_ACK, 0), addr, port)
+            for _ in range(1 << 16):
+                got = yield _recv_or_timeout(self.sim, sock, 4.0)
+                if got is None:
+                    return
+                data, _src = got
+                if len(data) < 4:
+                    continue
+                op, block = struct.unpack(">HH", data[:4])
+                if op != _OP_DATA:
+                    continue
+                if block == expected & 0xFFFF:
+                    buf.extend(data[4:])
+                    sock.sendto(struct.pack(">HH", _OP_ACK, block), addr, port)
+                    if len(data) - 4 < TFTP_BLOCK_SIZE:
+                        self.files[name] = bytes(buf)
+                        self.transfers += 1
+                        return
+                    expected += 1
+                else:
+                    sock.sendto(
+                        struct.pack(">HH", _OP_ACK, (expected - 1) & 0xFFFF),
+                        addr,
+                        port,
+                    )
+        finally:
+            sock.close()
+
+
+def _recv_or_timeout(sim: Simulator, sock: UdpSocket, timeout: float):
+    """AnyOf(recv, timeout) -> datagram tuple or None on timeout.
+
+    On timeout the pending receive is withdrawn from the socket queue so
+    it cannot swallow a later datagram.
+    """
+    from ..sim import AnyOf
+
+    recv_ev = sock.recv()
+    to = sim.timeout(timeout)
+
+    def process():
+        result = yield AnyOf(sim, [recv_ev, to])
+        if recv_ev in result:
+            return result[recv_ev]
+        sock.cancel_recv(recv_ev)
+        return None
+
+    return sim.process(process())
+
+
+class TftpClient:
+    """Blocking-style client: use inside a sim process with ``yield from``."""
+
+    def __init__(
+        self,
+        stack: IpStack,
+        server_addr: int,
+        server_port: int = 69,
+        timeout: float = 2.0,
+        retries: int = 8,
+    ) -> None:
+        self.sim: Simulator = stack.node.sim
+        self.stack = stack
+        self.server = (server_addr, server_port)
+        self.timeout = timeout
+        self.retries = retries
+
+    def read(self, name: str):
+        """Generator: RRQ a file; returns its bytes.
+
+        Use as ``data = yield from client.read("f.bit")``.
+        """
+        sock = UdpSocket(self.stack)
+        try:
+            buf = bytearray()
+            expected = 1
+            peer_port: Optional[int] = None
+            req = _pack_req(_OP_RRQ, name)
+            for _attempt in range(self.retries):
+                sock.sendto(req, *self.server)
+                got = yield _recv_or_timeout(self.sim, sock, self.timeout)
+                if got is not None:
+                    break
+            else:
+                raise TftpError(f"RRQ {name!r}: no answer")
+            while True:
+                data, (addr, port) = got
+                if peer_port is None:
+                    peer_port = port
+                if len(data) >= 4:
+                    op, block = struct.unpack(">HH", data[:4])
+                    if op == _OP_ERROR:
+                        detail = data[4:].rstrip(b"\x00")
+                        raise TftpError(f"server error: {detail!r}")
+                    if op == _OP_DATA and block == expected & 0xFFFF:
+                        buf.extend(data[4:])
+                        sock.sendto(
+                            struct.pack(">HH", _OP_ACK, block), addr, peer_port
+                        )
+                        if len(data) - 4 < TFTP_BLOCK_SIZE:
+                            return bytes(buf)
+                        expected += 1
+                    else:
+                        # duplicate block: re-ack it
+                        sock.sendto(
+                            struct.pack(">HH", _OP_ACK, (expected - 1) & 0xFFFF),
+                            addr,
+                            peer_port,
+                        )
+                for _attempt in range(self.retries):
+                    got = yield _recv_or_timeout(self.sim, sock, self.timeout)
+                    if got is not None:
+                        break
+                    # timeout: re-ack last received block to prod the server
+                    sock.sendto(
+                        struct.pack(">HH", _OP_ACK, (expected - 1) & 0xFFFF),
+                        addr if peer_port else self.server[0],
+                        peer_port or self.server[1],
+                    )
+                else:
+                    raise TftpError(f"read {name!r}: stalled at block {expected}")
+        finally:
+            sock.close()
+
+    def write(self, name: str, payload: bytes):
+        """Generator: WRQ a file up to the server.
+
+        Use as ``yield from client.write("f.bit", data)``.
+        """
+        sock = UdpSocket(self.stack)
+        try:
+            req = _pack_req(_OP_WRQ, name)
+            peer: Optional[tuple[int, int]] = None
+            for _attempt in range(self.retries):
+                sock.sendto(req, *self.server)
+                got = yield _recv_or_timeout(self.sim, sock, self.timeout)
+                if got is None:
+                    continue
+                data, (addr, port) = got
+                if len(data) >= 4:
+                    op, block = struct.unpack(">HH", data[:4])
+                    if op == _OP_ACK and block == 0:
+                        peer = (addr, port)
+                        break
+                    if op == _OP_ERROR:
+                        raise TftpError(f"server error: {data[4:]!r}")
+            if peer is None:
+                raise TftpError(f"WRQ {name!r}: no answer")
+            nblocks = len(payload) // TFTP_BLOCK_SIZE + 1
+            for block in range(1, nblocks + 1):
+                chunk = payload[(block - 1) * TFTP_BLOCK_SIZE : block * TFTP_BLOCK_SIZE]
+                pkt = struct.pack(">HH", _OP_DATA, block & 0xFFFF) + chunk
+                for _attempt in range(self.retries):
+                    sock.sendto(pkt, *peer)
+                    got = yield _recv_or_timeout(self.sim, sock, self.timeout)
+                    if got is None:
+                        continue
+                    data, _src = got
+                    if len(data) >= 4:
+                        op, acked = struct.unpack(">HH", data[:4])
+                        if op == _OP_ACK and acked == block & 0xFFFF:
+                            break
+                        if op == _OP_ERROR:
+                            raise TftpError(f"server error: {data[4:]!r}")
+                else:
+                    raise TftpError(f"write {name!r}: stalled at block {block}")
+        finally:
+            sock.close()

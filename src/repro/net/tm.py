@@ -1,0 +1,148 @@
+"""Telemetry (TM) downlink frames and streams.
+
+The Fig. 1 platform "transmit[s] information through a telemetry
+channel (TM)".  This module provides the downlink counterpart of the TC
+frames in :mod:`repro.net.tmtc`: CCSDS-shaped TM transfer frames with a
+master-channel counter, per-virtual-channel counters and a CRC-16,
+plus a :class:`TelemetryDownlink` process that drains a producer
+(typically the OBC's TM log) into frames at a fixed downlink cadence,
+and a :class:`TelemetryMonitor` that reassembles them at the NCC and
+tracks frame-loss via the counters.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Callable, Optional
+
+from ..sim import Simulator, Store
+from .simnet import Node
+from .tmtc import _crc16
+
+__all__ = ["TmFrame", "TelemetryDownlink", "TelemetryMonitor"]
+
+_HDR = struct.Struct(">BHHH")  # vc, master count, vc count, length
+TM_FRAME_DATA_MAX = 220
+
+
+class TmFrame:
+    """One TM transfer frame."""
+
+    __slots__ = ("vc", "master_count", "vc_count", "data")
+
+    def __init__(self, vc: int, master_count: int, vc_count: int, data: bytes):
+        self.vc = vc
+        self.master_count = master_count & 0xFFFF
+        self.vc_count = vc_count & 0xFFFF
+        self.data = data
+
+    def encode(self) -> bytes:
+        body = _HDR.pack(self.vc, self.master_count, self.vc_count, len(self.data))
+        body += self.data
+        return body + struct.pack(">H", _crc16(body))
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "TmFrame":
+        if len(raw) < _HDR.size + 2:
+            raise ValueError("TM frame too short")
+        body, (crc,) = raw[:-2], struct.unpack(">H", raw[-2:])
+        if _crc16(body) != crc:
+            raise ValueError("TM frame CRC mismatch")
+        vc, mc, vcc, length = _HDR.unpack(body[: _HDR.size])
+        data = body[_HDR.size :]
+        if len(data) != length:
+            raise ValueError("TM frame length mismatch")
+        return cls(vc, mc, vcc, data)
+
+
+class TelemetryDownlink:
+    """Satellite-side: frames telemetry records down the space link.
+
+    ``source()`` is polled every ``period`` seconds and must return a
+    list of JSON-serializable records (each becomes one or more frames
+    on ``vc``).  Records larger than one frame are split with a simple
+    continuation marker.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        source: Callable[[], list],
+        vc: int = 0,
+        period: float = 10.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.source = source
+        self.vc = vc
+        self.period = period
+        self.master_count = 0
+        self.vc_count = 0
+        self.frames_sent = 0
+        self.process = self.sim.process(self._run(), name="tm-downlink")
+
+    def _emit_record(self, record) -> None:
+        blob = json.dumps(record).encode()
+        chunks = [
+            blob[i : i + TM_FRAME_DATA_MAX - 1]
+            for i in range(0, max(len(blob), 1), TM_FRAME_DATA_MAX - 1)
+        ]
+        for i, chunk in enumerate(chunks):
+            marker = b"\x01" if i < len(chunks) - 1 else b"\x00"
+            frame = TmFrame(self.vc, self.master_count, self.vc_count, marker + chunk)
+            self.node.send_frame(frame.encode())
+            self.master_count = (self.master_count + 1) & 0xFFFF
+            self.vc_count = (self.vc_count + 1) & 0xFFFF
+            self.frames_sent += 1
+
+    def _run(self):
+        while True:
+            yield self.sim.timeout(self.period)
+            for record in self.source():
+                self._emit_record(record)
+
+
+class TelemetryMonitor:
+    """NCC-side: reassembles TM records and tracks continuity.
+
+    Install on the ground node (takes over its ``frame_tap``).  Complete
+    records are queued on ``records`` (a :class:`repro.sim.Store`);
+    ``gaps`` counts VC-counter discontinuities (lost frames).
+    """
+
+    def __init__(self, node: Node, vc: int = 0) -> None:
+        self.node = node
+        self.vc = vc
+        self.records: Store = Store(node.sim)
+        self.frames_received = 0
+        self.gaps = 0
+        self.bad_frames = 0
+        self._expected_vcc: Optional[int] = None
+        self._partial = bytearray()
+        node.frame_tap = self._on_frame
+
+    def _on_frame(self, raw: bytes) -> None:
+        try:
+            frame = TmFrame.decode(raw)
+        except ValueError:
+            self.bad_frames += 1
+            return
+        if frame.vc != self.vc:
+            return
+        self.frames_received += 1
+        if self._expected_vcc is not None and frame.vc_count != self._expected_vcc:
+            self.gaps += 1
+            self._partial.clear()  # a hole invalidates any partial record
+        self._expected_vcc = (frame.vc_count + 1) & 0xFFFF
+        marker, chunk = frame.data[:1], frame.data[1:]
+        self._partial.extend(chunk)
+        if marker == b"\x00":
+            blob = bytes(self._partial)
+            self._partial.clear()
+            try:
+                self.records.put(json.loads(blob.decode()))
+            except (ValueError, UnicodeDecodeError):
+                self.bad_frames += 1

@@ -1,0 +1,335 @@
+"""TM/TC transfer system (paper §3.3, level N1).
+
+The paper maps the lowest level of Fig. 4 onto the classical
+telecommand/telemetry architecture:
+
+- **Channel service**: "establishment of an error-controlled data path
+  to the spacecraft" -- our frames carry a CRC-16 and corrupted frames
+  are discarded.
+- **Data routing service**: "data unit received from upper layer are,
+  if needed, segmented, or multiplexed to form routable pieces ...
+  transferred over virtual channel.  Some virtual channels may be
+  dedicated to the reconfiguration procedure.  There are two modes of
+  operation.  The **express mode** is adapted to the transfer of small
+  test in the question/response mode.  The **controlled mode** is well
+  suited to the reliable transfer of data configuration."
+
+:class:`TmtcLayer` implements both modes over a :class:`repro.net.simnet.Link`:
+express (BD) frames are sent once; controlled (AD) frames run a
+COP-1-style go-back-N with CLCW acknowledgements.  "Since an IETF
+approach is adopted, IP stack replaces the data management service" --
+:meth:`TmtcLayer.install_under_ip` slides the layer underneath a node's
+IP stack so every IP datagram rides a TC virtual channel.
+"""
+
+from __future__ import annotations
+
+import binascii
+import struct
+from typing import Callable, Dict, Optional
+
+from ..sim import Simulator
+from .simnet import Node
+
+__all__ = ["TmtcLayer", "TcFrame", "FRAME_DATA_MAX"]
+
+#: CCSDS TC frame data-field budget we use per frame.
+FRAME_DATA_MAX = 249
+
+_HDR = struct.Struct(">BBHH")  # vc, flags, seq, length
+_F_MODE_AD = 0x80
+_SEG_UNSEG, _SEG_FIRST, _SEG_CONT, _SEG_LAST = 0x30, 0x10, 0x00, 0x20
+_SEG_MASK = 0x30
+_T_DATA, _T_CLCW = 0x00, 0x08
+_TYPE_MASK = 0x08
+
+
+def _crc16(data: bytes) -> int:
+    """CRC-16/CCITT (the CCSDS TC frame-error-control polynomial)."""
+    return binascii.crc_hqx(data, 0xFFFF)
+
+
+class TcFrame:
+    """One TC transfer frame (or CLCW report frame)."""
+
+    __slots__ = ("vc", "flags", "seq", "data")
+
+    def __init__(self, vc: int, flags: int, seq: int, data: bytes) -> None:
+        self.vc = vc
+        self.flags = flags
+        self.seq = seq
+        self.data = data
+
+    def encode(self) -> bytes:
+        body = _HDR.pack(self.vc, self.flags, self.seq, len(self.data)) + self.data
+        return body + struct.pack(">H", _crc16(body))
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "TcFrame":
+        if len(raw) < _HDR.size + 2:
+            raise ValueError("frame too short")
+        body, (crc,) = raw[:-2], struct.unpack(">H", raw[-2:])
+        if _crc16(body) != crc:
+            raise ValueError("frame CRC mismatch")
+        vc, flags, seq, length = _HDR.unpack(body[: _HDR.size])
+        data = body[_HDR.size :]
+        if len(data) != length:
+            raise ValueError("frame length mismatch")
+        return cls(vc, flags, seq, data)
+
+
+class _AdSender:
+    """COP-1-style FOP: go-back-N over one virtual channel."""
+
+    def __init__(self, layer: "TmtcLayer", vc: int, window: int, rto: float):
+        self.layer = layer
+        self.vc = vc
+        self.window = window
+        self.rto = rto
+        self.ns = 0  # next sequence to use
+        self.na = 0  # oldest unacked
+        self.backlog: list[tuple[int, bytes]] = []  # (flags, data) unsent
+        self.sent: Dict[int, tuple[int, bytes]] = {}  # seq -> (flags, data)
+        self._timer_gen = 0
+        self.retransmissions = 0
+
+    def submit(self, flags: int, data: bytes) -> None:
+        self.backlog.append((flags, data))
+        self._pump()
+
+    def _pump(self) -> None:
+        while self.backlog and (self.ns - self.na) < self.window:
+            flags, data = self.backlog.pop(0)
+            frame = TcFrame(self.vc, flags | _F_MODE_AD, self.ns & 0xFFFF, data)
+            self.sent[self.ns] = (flags, data)
+            self.layer._emit(frame)
+            self.ns += 1
+        self._arm()
+
+    def _arm(self) -> None:
+        if self.na == self.ns:
+            return
+        self._timer_gen += 1
+        gen = self._timer_gen
+        sim = self.layer.sim
+        sim.call_at(sim.now + self.rto, lambda: self._timeout(gen))
+
+    def _timeout(self, gen: int) -> None:
+        if gen != self._timer_gen or self.na == self.ns:
+            return
+        # go-back-N: retransmit everything outstanding
+        for seq in range(self.na, self.ns):
+            flags, data = self.sent[seq]
+            self.retransmissions += 1
+            self.layer._emit(TcFrame(self.vc, flags | _F_MODE_AD, seq & 0xFFFF, data))
+        self._arm()
+
+    def on_clcw(self, nr: int) -> None:
+        """Receiver reports next-expected = nr (modulo 65536)."""
+        # recover absolute value nearest to our window
+        base = self.na & 0xFFFF
+        delta = (nr - base) & 0xFFFF
+        if delta > self.window:
+            return  # stale
+        new_na = self.na + delta
+        if new_na > self.na:
+            for seq in range(self.na, new_na):
+                self.sent.pop(seq, None)
+            self.na = new_na
+            self._pump()
+
+
+class _FarmReceiver:
+    """COP-1-style FARM: in-order acceptance + CLCW generation."""
+
+    def __init__(self, layer: "TmtcLayer", vc: int):
+        self.layer = layer
+        self.vc = vc
+        self.expected = 0
+        self.discards = 0
+
+    def on_frame(self, frame: TcFrame) -> Optional[bytes]:
+        accepted = None
+        if frame.seq == self.expected & 0xFFFF:
+            self.expected += 1
+            accepted = frame.data
+        else:
+            self.discards += 1
+        clcw = TcFrame(self.vc, _T_CLCW | _F_MODE_AD, self.expected & 0xFFFF, b"")
+        self.layer._emit(clcw)
+        return accepted
+
+
+class TmtcLayer:
+    """TC data-routing service over a node's point-to-point link.
+
+    One instance per node; peers discover each other through the link.
+    SDUs submitted to :meth:`send_sdu` are segmented into frames on the
+    chosen virtual channel and delivered (reassembled) to the
+    ``receive_handler`` registered on the peer's layer for that VC.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        window: int = 8,
+        rto: float = 1.2,
+        frame_data_max: int = FRAME_DATA_MAX,
+        cltu: bool = False,
+    ) -> None:
+        if frame_data_max < 16:
+            raise ValueError("frame_data_max too small")
+        self.node = node
+        self.sim: Simulator = node.sim
+        self.window = window
+        self.rto = rto
+        self.frame_data_max = frame_data_max
+        #: wrap every frame in BCH(63,56) CLTU codeblocks (the channel
+        #: service's error control); requires the peer to enable it too
+        self.cltu = cltu
+        self.cltu_corrections = 0
+        self._senders: Dict[int, _AdSender] = {}
+        self._receivers: Dict[int, _FarmReceiver] = {}
+        self._reassembly: Dict[int, bytearray] = {}
+        self._handlers: Dict[int, Callable[[bytes], None]] = {}
+        self.stats = {"frames_out": 0, "frames_in": 0, "bad_frames": 0}
+        node.frame_tap = self._on_raw  # intercept all link deliveries
+        self._ip_vc: Optional[int] = None
+
+    # -- public ---------------------------------------------------------
+    def register_handler(self, vc: int, handler: Callable[[bytes], None]) -> None:
+        """Deliver reassembled SDUs on ``vc`` to ``handler``."""
+        self._handlers[vc] = handler
+
+    def send_sdu(self, data: bytes, vc: int = 0, mode: str = "AD") -> None:
+        """Segment and send one SDU on a virtual channel.
+
+        ``mode="AD"`` (controlled) runs go-back-N ARQ; ``mode="BD"``
+        (express) sends each frame exactly once.
+        """
+        if mode not in ("AD", "BD"):
+            raise ValueError("mode must be 'AD' or 'BD'")
+        if len(data) > self.frame_data_max:
+            # segmented SDU: prefix the total length so the receiver can
+            # detect (and discard) reassemblies with missing segments --
+            # essential for the unacknowledged express (BD) mode
+            data = struct.pack(">I", len(data)) + data
+        chunks = [
+            data[i : i + self.frame_data_max]
+            for i in range(0, max(len(data), 1), self.frame_data_max)
+        ]
+        for i, chunk in enumerate(chunks):
+            if len(chunks) == 1:
+                seg = _SEG_UNSEG
+            elif i == 0:
+                seg = _SEG_FIRST
+            elif i == len(chunks) - 1:
+                seg = _SEG_LAST
+            else:
+                seg = _SEG_CONT
+            if mode == "AD":
+                self._ad_sender(vc).submit(seg, chunk)
+            else:
+                self._emit(TcFrame(vc, seg, 0, chunk))
+
+    def install_under_ip(self, vc: int = 1, mode: str = "AD") -> None:
+        """Carry the node's IP datagrams over a TC virtual channel.
+
+        After this call, ``node.ip`` traffic is segmented into TC frames
+        (the paper's "IP stack replaces the data management service").
+        """
+        self._ip_vc = vc
+        ip_stack = self.node.ip
+        self.register_handler(vc, ip_stack.receive_frame)
+        layer = self
+
+        def transport(frame: bytes) -> None:
+            layer.send_sdu(frame, vc=vc, mode=mode)
+
+        self.node.ip_transport = transport
+        # monkey-patch send path: Node.send_frame goes through TMTC
+        self.node.send_frame = transport  # type: ignore[assignment]
+
+    # -- internals ---------------------------------------------------------
+    def _ad_sender(self, vc: int) -> _AdSender:
+        s = self._senders.get(vc)
+        if s is None:
+            s = _AdSender(self, vc, self.window, self.rto)
+            self._senders[vc] = s
+        return s
+
+    def _farm(self, vc: int) -> _FarmReceiver:
+        r = self._receivers.get(vc)
+        if r is None:
+            r = _FarmReceiver(self, vc)
+            self._receivers[vc] = r
+        return r
+
+    def _emit(self, frame: TcFrame) -> None:
+        self.stats["frames_out"] += 1
+        raw = frame.encode()
+        if self.cltu:
+            import numpy as _np
+
+            from ..coding.bch import encode_cltu
+
+            bits = encode_cltu(raw)
+            raw = _np.packbits(bits).tobytes()
+        self.node._links[0].transmit(self.node, raw)
+
+    def _on_raw(self, raw: bytes) -> None:
+        if self.cltu:
+            import numpy as _np
+
+            from ..coding.bch import BchError, decode_cltu
+
+            bits = _np.unpackbits(_np.frombuffer(raw, dtype=_np.uint8))
+            usable = (len(bits) // 63) * 63
+            try:
+                raw, corrected = decode_cltu(bits[:usable])
+                self.cltu_corrections += corrected
+            except BchError:
+                self.stats["bad_frames"] += 1
+                return
+        try:
+            frame = TcFrame.decode(raw)
+        except ValueError:
+            self.stats["bad_frames"] += 1
+            return
+        self.stats["frames_in"] += 1
+        if frame.flags & _TYPE_MASK:  # CLCW report
+            sender = self._senders.get(frame.vc)
+            if sender is not None:
+                sender.on_clcw(frame.seq)
+            return
+        if frame.flags & _F_MODE_AD:
+            data = self._farm(frame.vc).on_frame(frame)
+            if data is None:
+                return
+        else:
+            data = frame.data
+        self._reassemble(frame.vc, frame.flags & _SEG_MASK, data)
+
+    def _reassemble(self, vc: int, seg: int, data: bytes) -> None:
+        if seg == _SEG_UNSEG:
+            self._deliver(vc, data)
+            return
+        buf = self._reassembly.setdefault(vc, bytearray())
+        if seg == _SEG_FIRST:
+            buf.clear()
+        buf.extend(data)
+        if seg == _SEG_LAST:
+            sdu = bytes(buf)
+            buf.clear()
+            if len(sdu) < 4:
+                return
+            (total,) = struct.unpack(">I", sdu[:4])
+            body = sdu[4:]
+            if len(body) != total:
+                return  # segments missing (express mode over a bad link)
+            self._deliver(vc, body)
+
+    def _deliver(self, vc: int, sdu: bytes) -> None:
+        handler = self._handlers.get(vc)
+        if handler is not None:
+            handler(sdu)

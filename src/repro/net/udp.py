@@ -1,0 +1,106 @@
+"""UDP: connectionless datagram transport (paper §3.3: "UDP (for an
+express transfer)").
+
+Sockets are bound to ports on a node's IP stack; received datagrams
+queue in a :class:`repro.sim.Store` so protocol processes can block on
+``yield sock.recv()``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..sim import Event, Store
+from .ip import IpPacket, IpStack, PROTO_UDP
+
+__all__ = ["UdpSocket"]
+
+_HDR = struct.Struct(">HHH")  # src port, dst port, length
+
+
+class UdpSocket:
+    """A bound UDP endpoint.
+
+    ``recv()`` returns an event yielding ``(payload, (src_addr, src_port))``.
+    """
+
+    _next_ephemeral = 49152
+
+    def __init__(self, stack: IpStack, port: Optional[int] = None) -> None:
+        self.stack = stack
+        self.node = stack.node
+        if port is None:
+            port = UdpSocket._alloc_ephemeral(stack)
+        if not 0 < port < 65536:
+            raise ValueError("port out of range")
+        demux = _demux_for(stack)
+        if port in demux:
+            raise OSError(f"port {port} already bound on {self.node.name}")
+        self.port = port
+        self._queue = Store(self.node.sim)
+        demux[port] = self
+        self.closed = False
+
+    @staticmethod
+    def _alloc_ephemeral(stack: IpStack) -> int:
+        demux = _demux_for(stack)
+        p = UdpSocket._next_ephemeral
+        while p in demux:
+            p += 1
+        UdpSocket._next_ephemeral = p + 1
+        if UdpSocket._next_ephemeral > 65000:
+            UdpSocket._next_ephemeral = 49152
+        return p
+
+    def sendto(self, payload: bytes, addr: int, port: int) -> None:
+        """Send one datagram."""
+        if self.closed:
+            raise OSError("socket closed")
+        hdr = _HDR.pack(self.port, port, _HDR.size + len(payload))
+        self.stack.send(addr, PROTO_UDP, hdr + payload)
+
+    def recv(self) -> Event:
+        """Event yielding the next ``(payload, (src_addr, src_port))``."""
+        if self.closed:
+            raise OSError("socket closed")
+        return self._queue.get()
+
+    def cancel_recv(self, ev: Event) -> bool:
+        """Withdraw a pending :meth:`recv` event (timeout races)."""
+        return self._queue.cancel_get(ev)
+
+    def pending(self) -> int:
+        """Datagrams waiting in the receive queue."""
+        return len(self._queue)
+
+    def close(self) -> None:
+        """Release the port."""
+        if not self.closed:
+            _demux_for(self.stack).pop(self.port, None)
+            self.closed = True
+
+    # -- stack plumbing ----------------------------------------------------
+    def _on_datagram(self, payload: bytes, src_addr: int, src_port: int) -> None:
+        self._queue.put((payload, (src_addr, src_port)))
+
+
+def _demux_for(stack: IpStack) -> dict:
+    """Per-stack UDP port table (installs the protocol handler once)."""
+    demux = getattr(stack, "_udp_demux", None)
+    if demux is None:
+        demux = {}
+        stack._udp_demux = demux
+
+        def handler(pkt: IpPacket) -> None:
+            if len(pkt.payload) < _HDR.size:
+                return
+            sport, dport, length = _HDR.unpack(pkt.payload[: _HDR.size])
+            if length != len(pkt.payload):
+                return
+            sock = demux.get(dport)
+            if sock is not None:
+                sock._on_datagram(pkt.payload[_HDR.size :], pkt.src, sport)
+
+        stack.register_protocol(PROTO_UDP, handler)
+    return demux

@@ -1,0 +1,32 @@
+"""Space radiation environment substrate (paper §4.2).
+
+Models the three radiation sources the paper describes -- trapped
+particle belts, galactic cosmic rays and solar flares -- and their two
+effect classes on CMOS devices: **Total Ionizing Dose** (TID, long-term
+degradation in krad) and **Single-Event Effects** (SEE/SEU, random bit
+upsets).  The numbers are anchored to the paper's Table 1: a GEO
+satellite sees about 1e-7 SEU per bit per day on the MH1RT process and
+accumulates dose against a 200 krad tolerance.
+"""
+
+from .environment import (
+    GEO,
+    LEO,
+    MEO,
+    Orbit,
+    RadiationEnvironment,
+    SolarActivity,
+)
+from .effects import LatchUpModel, SeuProcess, TidAccumulator
+
+__all__ = [
+    "GEO",
+    "LEO",
+    "LatchUpModel",
+    "MEO",
+    "Orbit",
+    "RadiationEnvironment",
+    "SeuProcess",
+    "SolarActivity",
+    "TidAccumulator",
+]

@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based discrete-event engine in the style
+of SimPy, used as the substrate for the reconfiguration network stack
+(:mod:`repro.net`), the on-board controller (:mod:`repro.core`) and the
+radiation campaigns (:mod:`repro.radiation`).
+
+Public API
+----------
+- :class:`Simulator` -- the event loop (heap-ordered, deterministic ties).
+- :class:`Event` -- one-shot event that processes can wait on.
+- :class:`Timeout` -- event that fires after a simulated delay.
+- :class:`Process` -- generator-based coroutine driven by the simulator.
+- :class:`Store` -- FIFO channel with blocking ``get``/``put``.
+- :class:`Interrupt` -- exception thrown into an interrupted process.
+- :mod:`repro.sim.rng` -- named, reproducible random streams.
+"""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Resource,
+    Simulator,
+    SimulatorError,
+    Store,
+    Timeout,
+)
+from .rng import RngRegistry, stream
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Simulator",
+    "SimulatorError",
+    "Store",
+    "Timeout",
+    "stream",
+]

@@ -1,0 +1,501 @@
+"""Generator-based discrete-event simulation kernel.
+
+The kernel is deliberately small: an event heap keyed on
+``(time, priority, sequence)`` so that simultaneous events fire in a
+deterministic order, plus a coroutine driver that lets simulation
+processes be written as plain Python generators::
+
+    def sender(sim, store):
+        yield sim.timeout(1.0)
+        yield store.put("hello")
+
+    sim = Simulator()
+    store = Store(sim)
+    sim.process(sender(sim, store))
+    sim.run()
+
+Processes may yield:
+
+- an :class:`Event` (including :class:`Timeout`) -- resume when it fires,
+- another :class:`Process` -- resume when that process terminates,
+- :class:`AnyOf` / :class:`AllOf` -- composite wait conditions.
+
+Failures propagate: if a waited-on event fails, the exception is thrown
+into the waiting generator at the ``yield``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Simulator",
+    "SimulatorError",
+    "Store",
+    "Timeout",
+]
+
+
+class SimulatorError(RuntimeError):
+    """Raised for misuse of the kernel (double-trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value given by the interrupter.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event states
+_PENDING = 0
+_SCHEDULED = 1
+_FIRED = 2
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    schedules it on the simulator, and once processed it is *fired* and
+    its callbacks have been run.  Events are single-shot: triggering an
+    already-triggered event raises :class:`SimulatorError`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_ok", "_value")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._state = _PENDING
+        self._ok = True
+        self._value: Any = None
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded/failed."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _FIRED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulatorError("event already triggered")
+        self._state = _SCHEDULED
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure carrying ``exc``."""
+        if self._state != _PENDING:
+            raise SimulatorError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = _SCHEDULED
+        self._ok = False
+        self._value = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- kernel hook ----------------------------------------------------
+    def _fire(self) -> None:
+        self._state = _FIRED
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Run ``cb(event)`` when the event fires (immediately if fired)."""
+        if self.callbacks is None:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """Event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._state = _SCHEDULED
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite waits."""
+
+    __slots__ = ("_events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._n_fired = 0
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_fire)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev.value for ev in self._events if ev.processed and ev.ok}
+
+    def _on_fire(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of its events fires (fails on first failure)."""
+
+    __slots__ = ()
+
+    def _on_fire(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self.succeed(self._collect())
+        else:
+            self.fail(ev.value)
+
+
+class AllOf(_Condition):
+    """Fires when all of its events have fired (fails on first failure)."""
+
+    __slots__ = ()
+
+    def _on_fire(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self._events):
+            self.succeed(self._collect())
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    The process *is itself an event*: it fires (with the generator's
+    return value) when the generator terminates, so other processes can
+    ``yield proc`` to join on it.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(
+        self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = ""
+    ) -> None:
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # bootstrap: start the generator at time now
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if not self.is_alive:
+            raise SimulatorError(f"cannot interrupt dead process {self.name!r}")
+        waited = self._waiting_on
+        if waited is not None and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        intr = Event(self.sim)
+        intr.add_callback(self._resume_interrupt)
+        intr.succeed(Interrupt(cause))
+
+    # -- driving --------------------------------------------------------
+    def _resume_interrupt(self, ev: Event) -> None:
+        self._step(ev.value, throw=True)
+
+    def _resume(self, ev: Event) -> None:
+        self._waiting_on = None
+        if ev.ok:
+            self._step(ev.value, throw=False)
+        else:
+            self._step(ev.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self._gen.throw(value)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            if self._state == _PENDING:
+                self.succeed(stop.value)
+            return
+        except Interrupt:
+            # process chose not to handle its interrupt: treat as clean exit
+            if self._state == _PENDING:
+                self.succeed(None)
+            return
+        except Exception as exc:
+            if self._state == _PENDING:
+                self.fail(exc)
+                return
+            raise
+        try:
+            ev = self._as_event(target)
+        except SimulatorError as exc:
+            self._gen.close()
+            if self._state == _PENDING:
+                self.fail(exc)
+            return
+        self._waiting_on = ev
+        ev.add_callback(self._resume)
+
+    def _as_event(self, target: Any) -> Event:
+        if isinstance(target, Event):
+            return target
+        raise SimulatorError(
+            f"process {self.name!r} yielded non-event {target!r}; yield an "
+            "Event, Timeout, Process, AnyOf or AllOf"
+        )
+
+
+class Store:
+    """Unbounded-by-default FIFO channel with blocking get/put.
+
+    ``put(item)`` and ``get()`` both return events the caller must yield.
+    When ``capacity`` is finite, ``put`` blocks while the store is full.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Event, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` has been accepted."""
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = Event(self.sim)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def cancel_get(self, ev: Event) -> bool:
+        """Withdraw a pending ``get`` event (e.g. after a timeout race).
+
+        Returns True if the event was still queued and got removed; a
+        fired or unknown event returns False.
+        """
+        try:
+            self._getters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and len(self.items) < self.capacity:
+                ev, item = self._putters.pop(0)
+                self.items.append(item)
+                ev.succeed(None)
+                progressed = True
+            while self._getters and self.items:
+                ev = self._getters.pop(0)
+                ev.succeed(self.items.pop(0))
+                progressed = True
+
+
+class Resource:
+    """Counted resource with FIFO waiting (e.g. a shared config port).
+
+    §4.4's payload variants share scarce interfaces -- one JTAG
+    configuration port serving several FPGAs, one memory bus -- so
+    concurrent users must serialize.  ``acquire()`` returns an event to
+    yield; ``release()`` hands the slot to the next waiter.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: list[Event] = []
+
+    def acquire(self) -> Event:
+        """Event firing once a slot is held (immediately if free)."""
+        ev = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free one slot; wakes the oldest waiter."""
+        if self.in_use <= 0:
+            raise SimulatorError("release() without a held slot")
+        if self._waiters:
+            self._waiters.pop(0).succeed(self)
+        else:
+            self.in_use -= 1
+
+    @property
+    def queued(self) -> int:
+        """Processes waiting for a slot."""
+        return len(self._waiters)
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Simultaneous events fire in scheduling order (FIFO among equal
+    timestamps), making runs reproducible.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self.event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Register a generator as a process starting at the current time."""
+        return Process(self, gen, name=name)
+
+    def store(self, capacity: float = float("inf")) -> Store:
+        """Create a FIFO :class:`Store` bound to this simulator."""
+        return Store(self, capacity)
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulatorError(f"call_at({time}) is in the past (now={self._now})")
+        ev = Event(self)
+        ev.add_callback(lambda _ev: fn())
+        ev.succeed(None, delay=time - self._now)
+        return ev
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, ev: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulatorError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, ev))
+        self._seq += 1
+
+    def step(self) -> bool:
+        """Process one event; return False when the heap is empty."""
+        if not self._heap:
+            return False
+        t, _seq, ev = heapq.heappop(self._heap)
+        self._now = t
+        self.event_count += 1
+        ev._fire()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time passes ``until``.
+
+        Returns the simulation time at exit.  With ``until`` given, the
+        clock is advanced to exactly ``until`` even if the heap drained
+        earlier, so back-to-back ``run(until=...)`` calls compose.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return self._now
+        if until < self._now:
+            raise SimulatorError(f"run(until={until}) is in the past")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = max(self._now, until)
+        return self._now
+
+    def run_until_event(self, ev: Event, limit: float = float("inf")) -> Any:
+        """Run until ``ev`` has been processed; return its value.
+
+        Raises the event's exception if it failed, and
+        :class:`SimulatorError` if the heap drains (or ``limit`` elapses)
+        before the event fires.
+        """
+        while not ev.processed:
+            if not self._heap:
+                raise SimulatorError("event heap drained before event fired")
+            if self._heap[0][0] > limit:
+                raise SimulatorError(f"time limit {limit} exceeded waiting on event")
+            self.step()
+        if not ev.ok:
+            raise ev.value
+        return ev.value

@@ -1,0 +1,114 @@
+"""Tests for the UMTS convolutional codes and the Viterbi decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import UMTS_RATE_12, UMTS_RATE_13, ConvolutionalCode
+from repro.dsp.modem import ebn0_to_sigma, theoretical_ber_bpsk
+
+
+class TestEncoder:
+    def test_encoded_length(self):
+        assert UMTS_RATE_12.encoded_length(100) == (100 + 8) * 2
+        assert UMTS_RATE_13.encoded_length(100) == (100 + 8) * 3
+
+    def test_rate(self):
+        assert UMTS_RATE_12.rate == 0.5
+        assert np.isclose(UMTS_RATE_13.rate, 1 / 3)
+
+    def test_zero_input_zero_output(self):
+        out = UMTS_RATE_13.encode(np.zeros(40, dtype=np.uint8))
+        np.testing.assert_array_equal(out, 0)
+
+    def test_encoder_linearity(self):
+        """Convolutional codes are linear: enc(a^b) == enc(a) ^ enc(b)."""
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 60).astype(np.uint8)
+        b = rng.integers(0, 2, 60).astype(np.uint8)
+        lhs = UMTS_RATE_12.encode(a ^ b)
+        rhs = UMTS_RATE_12.encode(a) ^ UMTS_RATE_12.encode(b)
+        np.testing.assert_array_equal(lhs, rhs)
+
+    def test_impulse_response_matches_generators(self):
+        """A single 1 produces the generator taps as output columns."""
+        code = ConvolutionalCode((7, 5), 3)  # classic K=3 code
+        out = code.encode(np.array([1], dtype=np.uint8))
+        # g0 = 111, g1 = 101 -> outputs (1,1), (1,0), (1,1)
+        np.testing.assert_array_equal(out, [1, 1, 1, 0, 1, 1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode((), 9)
+        with pytest.raises(ValueError):
+            ConvolutionalCode((7,), 1)
+        with pytest.raises(ValueError):
+            ConvolutionalCode((777,), 3)  # too wide for K=3
+
+
+class TestViterbi:
+    @pytest.mark.parametrize("code", [UMTS_RATE_12, UMTS_RATE_13])
+    def test_noiseless_roundtrip(self, code):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 200).astype(np.uint8)
+        decoded = code.decode(code.encode(bits), 200)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_corrects_scattered_errors(self):
+        """dfree of the UMTS rate-1/2 code is 12: isolated flips correct."""
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 150).astype(np.uint8)
+        tx = UMTS_RATE_12.encode(bits)
+        rx = tx.copy()
+        rx[10] ^= 1
+        rx[90] ^= 1
+        rx[200] ^= 1
+        decoded = UMTS_RATE_12.decode(rx, 150)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_soft_beats_hard(self):
+        """Soft-decision Viterbi must yield lower BER than hard-decision."""
+        rng = np.random.default_rng(3)
+        nbits, nblocks = 200, 30
+        sigma = ebn0_to_sigma(2.0, 1, code_rate=0.5)
+        hard_err = soft_err = 0
+        for _ in range(nblocks):
+            bits = rng.integers(0, 2, nbits).astype(np.uint8)
+            tx = UMTS_RATE_12.encode(bits)
+            y = 1.0 - 2.0 * tx + sigma * rng.standard_normal(len(tx))
+            hard = (y < 0).astype(np.uint8)
+            hard_err += np.count_nonzero(UMTS_RATE_12.decode(hard, nbits) != bits)
+            soft_err += np.count_nonzero(
+                UMTS_RATE_12.decode(2 * y / sigma**2, nbits, soft=True) != bits
+            )
+        assert soft_err < hard_err
+
+    def test_coding_gain_over_uncoded(self):
+        """At 4 dB Eb/N0 the rate-1/2 K=9 code must beat uncoded BPSK."""
+        rng = np.random.default_rng(4)
+        ebn0 = 4.0
+        nbits, nblocks = 500, 20
+        sigma = ebn0_to_sigma(ebn0, 1, code_rate=0.5)
+        errors = 0
+        for _ in range(nblocks):
+            bits = rng.integers(0, 2, nbits).astype(np.uint8)
+            tx = UMTS_RATE_12.encode(bits)
+            y = 1.0 - 2.0 * tx + sigma * rng.standard_normal(len(tx))
+            errors += np.count_nonzero(
+                UMTS_RATE_12.decode(2 * y / sigma**2, nbits, soft=True) != bits
+            )
+        coded_ber = errors / (nbits * nblocks)
+        assert coded_ber < 0.2 * theoretical_ber_bpsk(ebn0)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            UMTS_RATE_12.decode(np.zeros(10), 100)
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, n):
+        rng = np.random.default_rng(n)
+        bits = rng.integers(0, 2, n).astype(np.uint8)
+        code = ConvolutionalCode((7, 5), 3)
+        np.testing.assert_array_equal(code.decode(code.encode(bits), n), bits)

@@ -1,0 +1,94 @@
+"""Tests for the TS 25.212 CRC implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import CRC8, CRC12, CRC16, CRC24, Crc
+from repro.coding.crc import crc32_bytes
+
+ALL_CRCS = [CRC8, CRC12, CRC16, CRC24]
+
+
+@pytest.mark.parametrize("crc", ALL_CRCS, ids=lambda c: c.name)
+class TestUmtsCrcs:
+    def test_attach_check_roundtrip(self, crc):
+        rng = np.random.default_rng(1)
+        msg = rng.integers(0, 2, 100).astype(np.uint8)
+        assert crc.check(crc.attach(msg))
+
+    def test_single_bit_error_detected(self, crc):
+        rng = np.random.default_rng(2)
+        msg = rng.integers(0, 2, 64).astype(np.uint8)
+        frame = crc.attach(msg)
+        for pos in range(0, len(frame), 7):
+            bad = frame.copy()
+            bad[pos] ^= 1
+            assert not crc.check(bad), f"missed single-bit error at {pos}"
+
+    def test_burst_error_detected(self, crc):
+        """CRC-w detects all bursts of length <= w."""
+        rng = np.random.default_rng(3)
+        msg = rng.integers(0, 2, 128).astype(np.uint8)
+        frame = crc.attach(msg)
+        for start in range(0, len(frame) - crc.width, 11):
+            bad = frame.copy()
+            bad[start : start + crc.width] ^= 1
+            assert not crc.check(bad)
+
+    def test_parity_width(self, crc):
+        parity = crc.compute(np.zeros(10, dtype=np.uint8))
+        assert len(parity) == crc.width
+
+    def test_linearity(self, crc):
+        """crc(a ^ b) == crc(a) ^ crc(b) for equal-length messages."""
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 2, 50).astype(np.uint8)
+        b = rng.integers(0, 2, 50).astype(np.uint8)
+        lhs = crc.compute(a ^ b)
+        rhs = crc.compute(a) ^ crc.compute(b)
+        np.testing.assert_array_equal(lhs, rhs)
+
+
+class TestCrcGeneric:
+    def test_zero_message_zero_crc(self):
+        np.testing.assert_array_equal(
+            CRC16.compute(np.zeros(32, dtype=np.uint8)), np.zeros(16, dtype=np.uint8)
+        )
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Crc(0x3, 0)
+
+    def test_poly_width_validation(self):
+        with pytest.raises(ValueError):
+            Crc(0x1FFFF, 16)
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ValueError):
+            CRC16.check(np.zeros(8, dtype=np.uint8))
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, bits):
+        msg = np.asarray(bits, dtype=np.uint8)
+        assert CRC16.check(CRC16.attach(msg))
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=8, max_size=100),
+        st.integers(min_value=0, max_value=107),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_single_flip_detected_property(self, bits, pos):
+        msg = np.asarray(bits, dtype=np.uint8)
+        frame = CRC8.attach(msg)
+        bad = frame.copy()
+        bad[pos % len(frame)] ^= 1
+        assert not CRC8.check(bad)
+
+    def test_crc32_bytes_known_value(self):
+        assert crc32_bytes(b"123456789") == 0xCBF43926
+
+    def test_crc32_bytes_differs_on_corruption(self):
+        assert crc32_bytes(b"hello") != crc32_bytes(b"hellp")

@@ -1,0 +1,155 @@
+"""Tests for the on-board housekeeping processes (sim-time)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HousekeepingLog,
+    PayloadConfig,
+    RadiationExposure,
+    RegenerativePayload,
+    ScrubProcess,
+    ValidationProcess,
+)
+from repro.radiation import GEO, RadiationEnvironment
+from repro.sim import RngRegistry, Simulator
+
+SMALL = dict(fpga_rows=8, fpga_cols=8, fpga_bits_per_clb=32)
+DAY = 86_400.0
+
+
+def hot_env():
+    return RadiationEnvironment(orbit=GEO, device_seu_factor=1e6)
+
+
+def booted_payload():
+    pl = RegenerativePayload(PayloadConfig(num_carriers=1, **SMALL))
+    pl.boot()
+    # housekeeping validation compares against the library image
+    for name in ("modem.tdma", "decod.conv"):
+        pl.obc.library.store(pl.registry.get(name).bitstream_for(8, 8, 32))
+    return pl
+
+
+class TestRadiationExposure:
+    def test_injects_over_simulated_time(self):
+        sim = Simulator()
+        pl = booted_payload()
+        log = HousekeepingLog()
+        RadiationExposure(sim, pl.demods[0].fpga, hot_env(),
+                          RngRegistry(1).stream("seu"), step=3600.0, log=log)
+        sim.run(until=2 * DAY)
+        assert log.upsets > 0
+        assert pl.demods[0].fpga.corrupted_bits() > 0
+
+    def test_step_validation(self):
+        sim = Simulator()
+        pl = booted_payload()
+        with pytest.raises(ValueError):
+            RadiationExposure(sim, pl.demods[0].fpga, hot_env(),
+                              RngRegistry(1).stream("x"), step=0.0)
+
+
+class TestScrubProcess:
+    @pytest.mark.parametrize("mode", ["blind", "readback"])
+    def test_keeps_configuration_clean(self, mode):
+        sim = Simulator()
+        pl = booted_payload()
+        fpga = pl.demods[0].fpga
+        log = HousekeepingLog()
+        RadiationExposure(sim, fpga, hot_env(), RngRegistry(2).stream("seu"),
+                          step=1800.0, log=log)
+        ScrubProcess(sim, fpga, period=3600.0, mode=mode, log=log)
+        sim.run(until=2 * DAY)
+        assert log.upsets > 0
+        assert log.scrubs >= 40
+        # the last scheduled scrub may precede the last injection slightly;
+        # corruption is bounded by one injection step's worth of upsets
+        assert fpga.corrupted_bits() <= max(10, log.upsets // 10)
+
+    def test_readback_counts_repairs(self):
+        sim = Simulator()
+        pl = booted_payload()
+        fpga = pl.demods[0].fpga
+        log = HousekeepingLog()
+        RadiationExposure(sim, fpga, hot_env(), RngRegistry(3).stream("seu"),
+                          step=1800.0, log=log)
+        ScrubProcess(sim, fpga, period=3600.0, mode="readback", log=log)
+        sim.run(until=DAY)
+        assert log.repairs > 0
+
+    def test_validation(self):
+        sim = Simulator()
+        pl = booted_payload()
+        with pytest.raises(ValueError):
+            ScrubProcess(sim, pl.demods[0].fpga, period=-1.0)
+        with pytest.raises(ValueError):
+            ScrubProcess(sim, pl.demods[0].fpga, period=10.0, mode="magic")
+
+
+class TestValidationProcess:
+    def test_periodic_telemetry(self):
+        sim = Simulator()
+        pl = booted_payload()
+        log = HousekeepingLog()
+        ValidationProcess(sim, pl.obc, period=6 * 3600.0, log=log)
+        sim.run(until=DAY)
+        assert log.validations == 4 * 2  # 4 cycles x 2 equipments
+        assert log.validation_failures == 0
+        assert log.availability == 1.0
+        hk_tms = [tm for tm in pl.obc.tm_log if "housekeeping" in tm.payload]
+        assert len(hk_tms) == 8
+
+    def test_detects_corruption(self):
+        sim = Simulator()
+        pl = booted_payload()
+        log = HousekeepingLog()
+        ValidationProcess(sim, pl.obc, period=3600.0, log=log)
+        pl.demods[0].fpga.upset_bits(np.array([1, 2, 3]))
+        sim.run(until=7200.0)
+        assert log.validation_failures > 0
+
+    def test_availability_accounting(self):
+        sim = Simulator()
+        pl = RegenerativePayload(PayloadConfig(num_carriers=1, **SMALL))
+        # every bit essential so any upset downs the function
+        pl.demods[0].fpga.essential_fraction = 1.0
+        pl.boot()
+        for name in ("modem.tdma", "decod.conv"):
+            pl.obc.library.store(pl.registry.get(name).bitstream_for(8, 8, 32))
+        log = HousekeepingLog()
+        RadiationExposure(sim, pl.demods[0].fpga, hot_env(),
+                          RngRegistry(4).stream("seu"), step=1800.0, log=log)
+        ValidationProcess(sim, pl.obc, period=3600.0, log=log)
+        sim.run(until=2 * DAY)
+        assert log.availability < 1.0
+
+    def test_empty_log_availability(self):
+        assert HousekeepingLog().availability == 1.0
+
+    def test_period_validation(self):
+        sim = Simulator()
+        pl = booted_payload()
+        with pytest.raises(ValueError):
+            ValidationProcess(sim, pl.obc, period=0.0)
+
+
+class TestCombinedHousekeeping:
+    def test_scrubbed_payload_outlives_unscrubbed(self):
+        """The steady-state §4.3 story, in simulated time."""
+        results = {}
+        for scrubbed in (False, True):
+            sim = Simulator()
+            pl = booted_payload()
+            fpga = pl.demods[0].fpga
+            log = HousekeepingLog()
+            RadiationExposure(sim, fpga, hot_env(),
+                              RngRegistry(5).stream(f"s{scrubbed}"),
+                              step=1800.0, log=log)
+            if scrubbed:
+                ScrubProcess(sim, fpga, period=3600.0, mode="blind", log=log)
+            ValidationProcess(sim, pl.obc, period=3600.0, log=log)
+            sim.run(until=5 * DAY)
+            results[scrubbed] = log
+        assert results[True].availability > results[False].availability
+        assert results[False].validation_failures > results[True].validation_failures

@@ -1,0 +1,79 @@
+"""Tests for the transparent-vs-regenerative link-budget model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linkbudget import (
+    compare_payloads,
+    regenerative_ber,
+    transparent_ber,
+    transparent_cn,
+)
+from repro.dsp.modem import theoretical_ber_bpsk
+
+
+class TestTransparentCn:
+    def test_symmetric_combination_loses_3db(self):
+        """Equal hops: the bent pipe loses exactly 3 dB."""
+        assert np.isclose(transparent_cn(10.0, 10.0), 10.0 - 10 * np.log10(2))
+
+    def test_dominated_by_weaker_hop(self):
+        cn = transparent_cn(3.0, 30.0)
+        assert cn < 3.0
+        assert cn > 3.0 - 0.1  # strong downlink costs almost nothing
+
+    def test_always_below_both_hops(self):
+        for up, down in ((5, 8), (10, 10), (20, 6)):
+            cn = transparent_cn(up, down)
+            assert cn < up and cn < down
+
+
+class TestRegenerativeBer:
+    def test_error_addition_formula(self):
+        pu = theoretical_ber_bpsk(6.0)
+        pd = theoretical_ber_bpsk(9.0)
+        assert np.isclose(regenerative_ber(6.0, 9.0), pu + pd - 2 * pu * pd)
+
+    def test_perfect_downlink_leaves_uplink_ber(self):
+        assert np.isclose(
+            regenerative_ber(6.0, 60.0), theoretical_ber_bpsk(6.0), rtol=1e-6
+        )
+
+
+class TestPaperClaim:
+    def test_regeneration_always_at_least_as_good(self):
+        """The §2.1 claim over the whole plausible operating region."""
+        for up in np.arange(2.0, 14.0, 1.0):
+            for down in np.arange(2.0, 14.0, 1.0):
+                c = compare_payloads(float(up), float(down))
+                assert c.regenerative_ber <= c.transparent_ber * 1.0000001
+
+    def test_gain_grows_with_link_quality(self):
+        gains = [
+            compare_payloads(cn, cn).regeneration_gain for cn in (4.0, 8.0, 12.0)
+        ]
+        assert gains[0] < gains[1] < gains[2]
+
+    def test_small_terminal_case(self):
+        """Weak uplink (small terminal), strong downlink: the case the
+        paper highlights."""
+        c = compare_payloads(5.0, 15.0)
+        # transparent pays the combining penalty on its C/N
+        assert c.transparent_cn_db < 5.0
+        # regenerative only inherits the uplink BER
+        assert np.isclose(
+            c.regenerative_ber, theoretical_ber_bpsk(5.0), rtol=1e-2
+        )
+        assert c.regeneration_gain > 1.2
+
+    @given(
+        st.floats(min_value=2.0, max_value=15.0),
+        st.floats(min_value=2.0, max_value=15.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_claim_property(self, up, down):
+        c = compare_payloads(up, down)
+        assert c.regenerative_ber <= c.transparent_ber * 1.0000001
+        assert 0.0 <= c.regenerative_ber <= 0.5

@@ -1,0 +1,140 @@
+"""Tests for cold-spare redundancy and automatic failover."""
+
+import numpy as np
+import pytest
+
+from repro.core import default_registry
+from repro.core.equipment import EquipmentError, ReconfigurableEquipment
+from repro.core.redundancy import FailoverProcess, RedundantEquipment
+from repro.fpga import Fpga
+from repro.radiation import LatchUpModel
+from repro.sim import RngRegistry, Simulator
+
+GEOM = dict(rows=8, cols=8, bits_per_clb=32)
+
+
+def make_pair(essential=1.0):
+    reg = default_registry()
+    primary = ReconfigurableEquipment(
+        "demod0", Fpga(**GEOM, essential_fraction=essential, name="fpga-a"),
+        reg, "modem",
+    )
+    spare = ReconfigurableEquipment(
+        "demod0-spare", Fpga(**GEOM, essential_fraction=essential, name="fpga-b"),
+        reg, "modem",
+    )
+    pair = RedundantEquipment(primary, spare)
+    pair.load("modem.tdma")
+    return pair
+
+
+class TestRedundantEquipment:
+    def test_spare_stays_cold(self):
+        pair = make_pair()
+        assert pair.primary.operational
+        assert pair.spare.loaded_design is None
+        assert pair.loaded_design == "modem.tdma"
+
+    def test_failover_carries_personality(self):
+        pair = make_pair()
+        pair.primary.fpga.upset_bits(np.array([1]))  # essential upset
+        assert not pair.operational
+        pair.failover()
+        assert pair.active is pair.spare
+        assert pair.loaded_design == "modem.tdma"
+        assert pair.operational
+        assert pair.failovers == 1
+
+    def test_failback_possible(self):
+        pair = make_pair()
+        pair.primary.fpga.upset_bits(np.array([1]))
+        pair.failover()
+        # the primary is recoverable (not marked failed): fail back
+        pair.failover()
+        assert pair.active is pair.primary
+        assert pair.operational
+
+    def test_both_units_failed_unrecoverable(self):
+        pair = make_pair()
+        pair.mark_unit_failed(pair.spare)
+        pair.primary.fpga.upset_bits(np.array([1]))
+        with pytest.raises(EquipmentError):
+            pair.failover()
+
+    def test_kind_mismatch_rejected(self):
+        reg = default_registry()
+        a = ReconfigurableEquipment("a", Fpga(**GEOM), reg, "modem")
+        b = ReconfigurableEquipment("b", Fpga(**GEOM), reg, "decoder")
+        with pytest.raises(ValueError):
+            RedundantEquipment(a, b)
+
+    def test_failover_without_design(self):
+        reg = default_registry()
+        a = ReconfigurableEquipment("a", Fpga(**GEOM), reg, "modem")
+        b = ReconfigurableEquipment("b", Fpga(**GEOM), reg, "modem")
+        pair = RedundantEquipment(a, b)
+        with pytest.raises(EquipmentError):
+            pair.failover()
+
+    def test_behaviour_follows_active_unit(self):
+        from repro.dsp.tdma import TdmaModem
+
+        pair = make_pair()
+        assert isinstance(pair.behaviour(), TdmaModem)
+        pair.primary.fpga.upset_bits(np.array([1]))
+        pair.failover()
+        assert isinstance(pair.behaviour(), TdmaModem)
+
+
+class TestFailoverProcess:
+    def test_automatic_failover_on_seu(self):
+        sim = Simulator()
+        pair = make_pair()
+        watch = FailoverProcess(sim, pair, check_period=60.0)
+
+        def strike(sim):
+            yield sim.timeout(300.0)
+            pair.primary.fpga.upset_bits(np.array([2]))
+
+        sim.process(strike(sim))
+        sim.run(until=600.0)
+        assert pair.active is pair.spare
+        assert pair.operational
+        assert len(watch.events) == 1
+        # detected at the first health check at/after the strike
+        assert watch.events[0][0] in (300.0, 360.0)
+
+    def test_latchup_driven_failover(self):
+        """Unprotected latch-up kills the primary; the pair survives."""
+        sim = Simulator()
+        pair = make_pair()
+        lu = LatchUpModel(rate_per_device_day=50.0, protected=False)
+        watch = FailoverProcess(sim, pair, check_period=3600.0)
+        rng = RngRegistry(3).stream("lu")
+
+        def exposure(sim):
+            while not lu.destroyed:
+                yield sim.timeout(3600.0)
+                if lu.advance(3600.0 / 86_400.0, rng) and lu.destroyed:
+                    pair.mark_unit_failed(pair.primary)
+
+        sim.process(exposure(sim))
+        sim.run(until=10 * 86_400.0)
+        assert lu.destroyed
+        assert pair.active is pair.spare
+        assert pair.operational
+
+    def test_unrecoverable_logged_and_stopped(self):
+        sim = Simulator()
+        pair = make_pair()
+        pair.mark_unit_failed(pair.spare)
+        watch = FailoverProcess(sim, pair, check_period=60.0)
+        pair.primary.fpga.upset_bits(np.array([1]))
+        sim.run(until=600.0)
+        assert any("unrecoverable" in e[1] for e in watch.events)
+        assert not watch.process.is_alive
+
+    def test_period_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FailoverProcess(sim, make_pair(), check_period=0.0)

@@ -1,0 +1,137 @@
+"""Tests for the AGC and the CDMA rake receiver."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.agc import Agc, burst_gain
+from repro.dsp.cdma import CdmaConfig, CdmaModem, RakeReceiver, acquire, spread
+from repro.dsp.channel import Multipath, SatelliteChannel
+from repro.sim import RngRegistry
+
+
+class TestBurstGain:
+    def test_exact_for_constant_amplitude(self):
+        assert np.isclose(burst_gain(0.5 * np.ones(64)), 2.0)
+
+    def test_target_parameter(self):
+        assert np.isclose(burst_gain(np.ones(10), target_rms=3.0), 3.0)
+
+    def test_zero_signal_unity(self):
+        assert burst_gain(np.zeros(10)) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            burst_gain(np.array([]))
+
+
+class TestAgc:
+    def test_converges_to_target_from_low_input(self):
+        agc = Agc(target_rms=1.0, mu=0.1)
+        x = 0.1 * np.exp(1j * np.linspace(0, 100, 5000))
+        y = agc.process(x)
+        rms_tail = np.sqrt(np.mean(np.abs(y[-500:]) ** 2))
+        assert abs(rms_tail - 1.0) < 0.05
+
+    def test_converges_from_high_input(self):
+        agc = Agc(target_rms=1.0, mu=0.1)
+        x = 8.0 * np.exp(1j * np.linspace(0, 100, 5000))
+        y = agc.process(x)
+        rms_tail = np.sqrt(np.mean(np.abs(y[-500:]) ** 2))
+        assert abs(rms_tail - 1.0) < 0.05
+
+    def test_state_persists_across_blocks(self):
+        agc = Agc(mu=0.1)
+        x = 0.2 * np.ones(4000, dtype=complex)
+        agc.process(x[:2000])
+        g_mid = agc.gain
+        agc.process(x[2000:])
+        assert abs(agc.gain - 5.0) < 0.5
+        assert agc.gain >= g_mid * 0.5  # no reset between blocks
+
+    def test_gain_clamped(self):
+        agc = Agc(mu=0.5, max_gain=10.0)
+        agc.process(np.full(5000, 1e-6, dtype=complex))
+        assert agc.gain <= 10.0
+
+    def test_tracks_level_step(self):
+        agc = Agc(mu=0.1)
+        x = np.concatenate([
+            0.5 * np.ones(3000, dtype=complex),
+            2.0 * np.ones(3000, dtype=complex),
+        ])
+        y = agc.process(x)
+        rms_tail = np.sqrt(np.mean(np.abs(y[-500:]) ** 2))
+        assert abs(rms_tail - 1.0) < 0.1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Agc(target_rms=0.0)
+        with pytest.raises(ValueError):
+            Agc(mu=1.5)
+        with pytest.raises(ValueError):
+            Agc(min_gain=1.0, max_gain=0.5)
+
+
+def _multipath_burst(seed, echo_gain=0.6, echo_chips=3, sigma=0.08, sf=64, nbits=256):
+    reg = RngRegistry(seed)
+    cm = CdmaModem(CdmaConfig(sf=sf))
+    bits = reg.stream("b").integers(0, 2, nbits).astype(np.uint8)
+    tx = cm.transmit(bits)
+    mp = Multipath(
+        delays=(0, echo_chips * cm.config.chip_sps),
+        gains=(1.0, echo_gain * np.exp(1j * 1.2)),
+    )
+    ch = SatelliteChannel(snr_sigma=sigma, phase=0.5, multipath=mp, rng=reg.stream("n"))
+    return cm, bits, ch.apply(tx)
+
+
+class TestRake:
+    def test_finds_both_fingers(self):
+        cm, bits, rx = _multipath_burst(seed=1)
+        out = cm.receive_rake(rx, 256)
+        assert 0 in out["fingers"] and 3 in out["fingers"]
+
+    def test_finger_gains_match_channel(self):
+        cm, bits, rx = _multipath_burst(seed=2, echo_gain=0.5)
+        out = cm.receive_rake(rx, 256)
+        mags = sorted(np.abs(out["finger_gains"]), reverse=True)
+        assert abs(mags[0] - 1.0) < 0.15
+        assert abs(mags[1] - 0.5) < 0.15
+
+    def test_rake_decodes_under_multipath(self):
+        cm, bits, rx = _multipath_burst(seed=3, echo_gain=0.7, sigma=0.12)
+        out = cm.receive_rake(rx, 256)
+        assert np.mean(out["bits"] != bits) < 0.01
+
+    def test_rake_at_least_as_good_as_single_finger(self):
+        """Across several noisy multipath bursts, rake >= plain receiver."""
+        rake_err = plain_err = 0
+        for seed in range(4, 10):
+            cm, bits, rx = _multipath_burst(seed=seed, echo_gain=0.8, sigma=0.25)
+            rake_err += int(np.count_nonzero(cm.receive_rake(rx, 256)["bits"] != bits))
+            plain_err += int(np.count_nonzero(cm.receive(rx, 256)["bits"] != bits))
+        assert rake_err <= plain_err
+
+    def test_single_path_degenerates_to_one_finger(self):
+        reg = RngRegistry(11)
+        cm = CdmaModem(CdmaConfig(sf=64))
+        bits = reg.stream("b").integers(0, 2, 128).astype(np.uint8)
+        rx = cm.transmit(bits)
+        out = cm.receive_rake(rx, 128)
+        assert out["fingers"] == [0]
+        np.testing.assert_array_equal(out["bits"], bits)
+
+    def test_validation(self):
+        code = np.ones(8)
+        with pytest.raises(ValueError):
+            RakeReceiver(code, max_fingers=0)
+        with pytest.raises(ValueError):
+            RakeReceiver(code, finger_threshold=1.5)
+        rake = RakeReceiver(code)
+        with pytest.raises(RuntimeError):
+            rake.despread_fingers(np.zeros(64, dtype=complex), 0.0, 2)
+
+    def test_combine_requires_pilot_coverage(self):
+        rake = RakeReceiver(np.ones(8))
+        with pytest.raises(ValueError):
+            rake.combine(np.ones((2, 4), dtype=complex), np.ones(8, dtype=complex))

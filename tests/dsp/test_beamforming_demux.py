@@ -1,0 +1,171 @@
+"""Tests for the DBFN and the carrier DEMUX."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.beamforming import Dbfn, array_response, steering_vector
+from repro.dsp.demux import DdcBank, PolyphaseChannelizer, multiplex_carriers
+from repro.dsp.nco import mix
+
+
+class TestSteering:
+    def test_boresight_all_ones(self):
+        np.testing.assert_allclose(steering_vector(8, 0.0), np.ones(8))
+
+    def test_unit_magnitude(self):
+        a = steering_vector(16, 0.3)
+        np.testing.assert_allclose(np.abs(a), 1.0)
+
+    def test_invalid_elements(self):
+        with pytest.raises(ValueError):
+            steering_vector(0, 0.1)
+
+
+class TestDbfn:
+    def test_beam_gain_at_steering_direction(self):
+        bf = Dbfn(num_elements=8)
+        b = bf.point_beam(0.2)
+        assert abs(bf.beam_gain_db(b, 0.2)) < 0.01  # unit gain (0 dB)
+
+    def test_off_axis_rejection(self):
+        bf = Dbfn(num_elements=16)
+        b = bf.point_beam(0.0)
+        # far off-axis gain should be well below mainlobe
+        assert bf.beam_gain_db(b, 0.8) < -10.0
+
+    def test_form_beams_separates_sources(self):
+        """Two plane waves from distinct DOAs -> two beams, each recovers one."""
+        rng = np.random.default_rng(0)
+        ne, n = 16, 2048
+        th1, th2 = -0.35, 0.4
+        s1 = np.exp(2j * np.pi * 0.013 * np.arange(n))
+        s2 = np.exp(2j * np.pi * 0.037 * np.arange(n))
+        a1 = steering_vector(ne, th1)
+        a2 = steering_vector(ne, th2)
+        elements = np.outer(a1, s1) + np.outer(a2, s2)
+        elements += 0.01 * (
+            rng.standard_normal((ne, n)) + 1j * rng.standard_normal((ne, n))
+        )
+        bf = Dbfn(num_elements=ne)
+        bf.point_beam(th1)
+        bf.point_beam(th2)
+        beams = bf.form_beams(elements)
+        # each beam output should correlate strongly with its source
+        c11 = abs(np.vdot(beams[0], s1)) / n
+        c12 = abs(np.vdot(beams[0], s2)) / n
+        c22 = abs(np.vdot(beams[1], s2)) / n
+        c21 = abs(np.vdot(beams[1], s1)) / n
+        assert c11 > 0.9 and c22 > 0.9
+        assert c12 < 0.2 and c21 < 0.2
+
+    def test_taper_reduces_sidelobes(self):
+        ne = 16
+        thetas = np.linspace(-np.pi / 2, np.pi / 2, 721)
+        bf_u = Dbfn(ne)
+        bf_u.point_beam(0.0)
+        bf_t = Dbfn(ne)
+        bf_t.point_beam(0.0, taper=np.hamming(ne))
+        resp_u = array_response(bf_u.weight_matrix()[0], thetas)
+        resp_t = array_response(bf_t.weight_matrix()[0], thetas)
+        # compare peak sidelobe outside the (widened) mainlobe
+        out = np.abs(np.sin(thetas)) > 0.3
+        psl_u = resp_u[out].max() / resp_u.max()
+        psl_t = resp_t[out].max() / resp_t.max()
+        assert psl_t < psl_u
+
+    def test_wrong_element_count_rejected(self):
+        bf = Dbfn(4)
+        bf.point_beam(0.0)
+        with pytest.raises(ValueError):
+            bf.form_beams(np.zeros((5, 10), dtype=complex))
+
+    def test_no_beams_error(self):
+        with pytest.raises(ValueError):
+            Dbfn(4).weight_matrix()
+
+    def test_taper_shape_validated(self):
+        with pytest.raises(ValueError):
+            Dbfn(4).point_beam(0.0, taper=np.ones(3))
+
+
+def _carrier_test_signal(m, nsym, seed):
+    """M narrowband QPSK-ish streams multiplexed onto M uniform carriers.
+
+    The returned reference streams are at the *channel* rate: the
+    multiplexer upsamples each by m, so a decimate-by-m demux brings
+    them back to the original rate (plus filter group delay).
+    """
+    rng = np.random.default_rng(seed)
+    bb = np.exp(1j * (np.pi / 4 + np.pi / 2 * rng.integers(0, 4, (m, nsym))))
+    # hold each symbol for 8 samples to keep it narrowband
+    bb = np.repeat(bb, 8, axis=1)
+    wide = multiplex_carriers(bb, m)
+    return bb, wide
+
+
+def _best_lag_correlation(got, ref, guard, max_lag):
+    """Peak normalized cross-correlation over non-negative lags."""
+    n = min(len(got), len(ref))
+    best = 0.0
+    for lag in range(max_lag):
+        g = got[guard + lag : n - guard]
+        r = ref[guard : n - guard - lag]
+        length = min(len(g), len(r))
+        g, r = g[:length], r[:length]
+        denom = np.linalg.norm(g) * np.linalg.norm(r)
+        if denom > 1e-30:
+            best = max(best, abs(np.vdot(g, r)) / denom)
+    return best
+
+
+class TestDdcBank:
+    def test_recovers_each_carrier(self):
+        m = 4
+        bb, wide = _carrier_test_signal(m, 64, seed=1)
+        bank = DdcBank([k / m for k in range(m)], decim=m)
+        out = bank.process(wide)
+        assert out.shape[0] == m
+        for k in range(m):
+            c = _best_lag_correlation(out[k], bb[k], guard=64, max_lag=40)
+            assert c > 0.9, f"carrier {k} correlation {c}"
+
+    def test_invalid_decim(self):
+        with pytest.raises(ValueError):
+            DdcBank([0.0], decim=0)
+
+
+class TestPolyphaseChannelizer:
+    def test_channel_isolation(self):
+        """A tone in channel k appears in output k and nowhere else."""
+        m = 8
+        pc = PolyphaseChannelizer(m, taps_per_branch=16)
+        n = m * 512
+        for k in (0, 3, 7):
+            # tone slightly offset inside channel k
+            f = k / m + 0.3 / (2 * m)
+            x = np.exp(2j * np.pi * f * np.arange(n))
+            y = pc.process(x)
+            powers = np.mean(np.abs(y[:, 64:]) ** 2, axis=1)
+            assert np.argmax(powers) == k
+            others = np.delete(powers, k)
+            assert powers[k] > 50 * others.max()
+
+    def test_block_length_validated(self):
+        pc = PolyphaseChannelizer(4)
+        with pytest.raises(ValueError):
+            pc.process(np.zeros(10))
+
+    def test_needs_two_channels(self):
+        with pytest.raises(ValueError):
+            PolyphaseChannelizer(1)
+
+    def test_recovers_multiplexed_carriers(self):
+        """The channelizer recovers every stream of a synthesized multiplex."""
+        m = 4
+        bb, wide = _carrier_test_signal(m, 128, seed=2)
+        pc = PolyphaseChannelizer(m, taps_per_branch=24)
+        n = (len(wide) // m) * m
+        y = pc.process(wide[:n])
+        for k in range(m):
+            c = _best_lag_correlation(y[k], bb[k], guard=96, max_lag=60)
+            assert c > 0.9, f"channel {k}: corr {c}"

@@ -1,0 +1,193 @@
+"""Tests for channel impairments, NCO and DDC."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.channel import (
+    Multipath,
+    SatelliteChannel,
+    apply_cfo,
+    apply_delay,
+    apply_phase_noise,
+    awgn,
+)
+from repro.dsp.nco import Ddc, Nco, mix
+from repro.sim import RngRegistry
+
+
+class TestAwgn:
+    def test_zero_sigma_is_identity(self):
+        x = np.ones(10, dtype=complex)
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(awgn(x, 0.0, rng), x)
+
+    def test_noise_power_matches_sigma(self):
+        rng = np.random.default_rng(1)
+        x = np.zeros(100_000, dtype=complex)
+        y = awgn(x, 0.5, rng)
+        measured = np.mean(np.abs(y) ** 2)
+        assert np.isclose(measured, 2 * 0.25, rtol=0.05)  # 2 sigma^2
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            awgn(np.zeros(4, dtype=complex), -0.1, np.random.default_rng())
+
+    def test_reproducible_with_named_stream(self):
+        x = np.zeros(16, dtype=complex)
+        a = awgn(x, 1.0, RngRegistry(5).stream("n"))
+        b = awgn(x, 1.0, RngRegistry(5).stream("n"))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCfoAndPhaseNoise:
+    def test_cfo_rotates_at_rate(self):
+        x = np.ones(100, dtype=complex)
+        y = apply_cfo(x, cfo=0.01)
+        phases = np.unwrap(np.angle(y))
+        np.testing.assert_allclose(np.diff(phases), 2 * np.pi * 0.01, atol=1e-12)
+
+    def test_phase_offset(self):
+        y = apply_cfo(np.ones(4, dtype=complex), 0.0, phase=np.pi / 3)
+        np.testing.assert_allclose(np.angle(y), np.pi / 3)
+
+    def test_phase_noise_preserves_magnitude(self):
+        rng = np.random.default_rng(2)
+        x = np.ones(1000, dtype=complex)
+        y = apply_phase_noise(x, 1e-4, rng)
+        np.testing.assert_allclose(np.abs(y), 1.0, atol=1e-12)
+
+    def test_phase_noise_variance_grows_linearly(self):
+        rng = np.random.default_rng(3)
+        lw = 1e-5
+        n = 20_000
+        runs = [
+            np.unwrap(np.angle(apply_phase_noise(np.ones(n, dtype=complex), lw, rng)))
+            for _ in range(20)
+        ]
+        var_end = np.var([r[-1] for r in runs])
+        expected = 2 * np.pi * lw * n
+        assert 0.3 * expected < var_end < 3.0 * expected
+
+    def test_zero_linewidth_identity(self):
+        x = np.exp(1j * np.linspace(0, 1, 50))
+        y = apply_phase_noise(x, 0.0, np.random.default_rng())
+        np.testing.assert_array_equal(y, x)
+
+
+class TestDelay:
+    def test_integer_delay_shifts(self):
+        x = np.arange(10, dtype=complex)
+        y = apply_delay(x, 3)
+        np.testing.assert_allclose(y[3:], x[:7], atol=1e-12)
+        np.testing.assert_allclose(y[:3], 0.0)
+
+    def test_fractional_delay_midpoint(self):
+        t = np.arange(200)
+        x = np.sin(2 * np.pi * 0.01 * t).astype(complex)
+        y = apply_delay(x, 0.5)
+        expected = np.sin(2 * np.pi * 0.01 * (t - 0.5))
+        np.testing.assert_allclose(y[30:-30].real, expected[30:-30], atol=3e-3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            apply_delay(np.zeros(8, dtype=complex), -1.0)
+
+
+class TestMultipath:
+    def test_single_tap_identity(self):
+        x = np.arange(5, dtype=complex)
+        mp = Multipath()
+        np.testing.assert_array_equal(mp.apply(x), x)
+
+    def test_two_ray(self):
+        x = np.array([1.0, 0, 0, 0], dtype=complex)
+        mp = Multipath(delays=(0, 2), gains=(1.0, 0.5j))
+        y = mp.apply(x)
+        np.testing.assert_allclose(y, [1.0, 0, 0.5j, 0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Multipath(delays=(0, 1), gains=(1.0,))
+        with pytest.raises(ValueError):
+            Multipath(delays=(-1,), gains=(1.0,))
+
+
+class TestSatelliteChannel:
+    def test_noiseless_passthrough(self):
+        x = np.exp(1j * np.linspace(0, 2, 64))
+        ch = SatelliteChannel()
+        np.testing.assert_array_equal(ch.apply(x), x)
+
+    def test_requires_rng_for_noise(self):
+        ch = SatelliteChannel(snr_sigma=0.1)
+        with pytest.raises(ValueError):
+            ch.apply(np.zeros(8, dtype=complex))
+
+    def test_requires_rng_for_phase_noise(self):
+        ch = SatelliteChannel(linewidth=1e-5)
+        with pytest.raises(ValueError):
+            ch.apply(np.zeros(8, dtype=complex))
+
+    def test_composition_order_cfo_after_delay(self):
+        # delay then CFO: a pure tone acquires CFO referenced to output index
+        x = np.ones(32, dtype=complex)
+        ch = SatelliteChannel(cfo=0.25, delay=1.0)
+        y = ch.apply(x)
+        # after one-sample delay, y[n] = exp(j 2 pi 0.25 n) for n >= 1
+        expected = np.exp(2j * np.pi * 0.25 * np.arange(32))
+        np.testing.assert_allclose(y[2:], expected[2:], atol=1e-9)
+
+
+class TestNco:
+    def test_block_continuity(self):
+        nco_a = Nco(0.0173)
+        y_once = nco_a.generate(100)
+        nco_b = Nco(0.0173)
+        y_split = np.concatenate([nco_b.generate(37), nco_b.generate(63)])
+        np.testing.assert_allclose(y_split, y_once, atol=1e-12)
+
+    def test_mix_then_unmix_identity(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        up = mix(x, 0.07)
+        down = mix(up, -0.07)
+        np.testing.assert_allclose(down, x, atol=1e-12)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Nco(0.1).generate(-1)
+
+
+class TestDdc:
+    def test_recovers_shifted_tone(self):
+        """A tone at fc+df must come out of the DDC as a tone at df."""
+        n = 4096
+        fc, df = 0.21, 0.01
+        x = np.exp(2j * np.pi * (fc + df) * np.arange(n))
+        ddc = Ddc(freq=fc, decim=4, num_taps=65)
+        y = ddc.process(x)[32:]  # drop transient
+        # instantaneous frequency of the output (in decimated-rate cycles)
+        inst = np.diff(np.unwrap(np.angle(y))) / (2 * np.pi)
+        assert np.allclose(inst, df * 4, atol=1e-6)
+        assert np.mean(np.abs(y) ** 2) > 0.9
+
+    def test_rejects_adjacent_carrier(self):
+        """A tone one channel away must be crushed by the DDC's LPF."""
+        n = 4096
+        x = np.exp(2j * np.pi * 0.46 * np.arange(n))
+        ddc = Ddc(freq=0.21, decim=4, num_taps=65)
+        y = ddc.process(x)[64:]
+        assert np.mean(np.abs(y) ** 2) < 1e-3
+
+    def test_invalid_decim(self):
+        with pytest.raises(ValueError):
+            Ddc(0.1, decim=0)
+
+    def test_streaming_consistency(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        d1 = Ddc(0.1, decim=2)
+        y1 = d1.process(x)
+        d2 = Ddc(0.1, decim=2)
+        y2 = np.concatenate([d2.process(x[:129]), d2.process(x[129:])])
+        np.testing.assert_allclose(y2, y1, atol=1e-9)

@@ -1,0 +1,89 @@
+"""Tests for frame-plan guard times and burst windows."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.tdma import FramePlan
+
+
+class TestGuardTimes:
+    def test_guard_and_usable_duration(self):
+        fp = FramePlan(slots_per_frame=8, frame_duration=0.024, guard_fraction=0.05)
+        assert np.isclose(fp.guard_time, 0.003 * 0.05)
+        assert np.isclose(fp.usable_slot_duration, 0.003 * 0.9)
+
+    def test_zero_guard(self):
+        fp = FramePlan(guard_fraction=0.0)
+        assert fp.usable_slot_duration == fp.slot_duration
+
+    def test_guard_validation(self):
+        with pytest.raises(ValueError):
+            FramePlan(guard_fraction=0.5)
+        with pytest.raises(ValueError):
+            FramePlan(guard_fraction=-0.1)
+
+
+class TestBurstWindow:
+    def test_window_inside_slot(self):
+        fp = FramePlan(slots_per_frame=8, frame_duration=0.024, guard_fraction=0.05)
+        rate = 2.048e6
+        nsym = 308
+        start, end = fp.burst_window(2, rate, nsym)
+        slot_start = 2 * fp.slot_duration
+        assert start == pytest.approx(slot_start + fp.guard_time)
+        assert end - start == pytest.approx(nsym / rate)
+        assert end <= slot_start + fp.slot_duration - fp.guard_time + 1e-12
+
+    def test_adjacent_bursts_never_overlap(self):
+        """The guard property: consecutive slots' windows are disjoint."""
+        fp = FramePlan(slots_per_frame=8, frame_duration=0.024, guard_fraction=0.05)
+        rate = 2.048e6
+        nsym = fp.max_burst_symbols(rate)
+        windows = [fp.burst_window(s, rate, nsym) for s in range(8)]
+        for (s0, e0), (s1, e1) in zip(windows, windows[1:]):
+            assert e0 < s1  # strict gap = 2 x guard_time
+
+    def test_oversized_burst_rejected(self):
+        fp = FramePlan(slots_per_frame=8, frame_duration=0.024)
+        rate = 2.048e6
+        too_big = fp.max_burst_symbols(rate) + 10
+        with pytest.raises(ValueError):
+            fp.burst_window(0, rate, too_big)
+
+    def test_max_burst_fits(self):
+        fp = FramePlan()
+        rate = 2.048e6
+        nsym = fp.max_burst_symbols(rate)
+        fp.burst_window(0, rate, nsym)  # must not raise
+
+    def test_paper_burst_fits_sumts_slot(self):
+        """The default 308-symbol burst fits a 3 ms slot at 2.048 Msym/s."""
+        from repro.dsp.tdma import BurstFormat
+
+        fp = FramePlan()
+        assert BurstFormat().total <= fp.max_burst_symbols(2.048e6)
+
+    def test_validation(self):
+        fp = FramePlan()
+        with pytest.raises(ValueError):
+            fp.burst_window(99, 1e6, 10)
+        with pytest.raises(ValueError):
+            fp.burst_window(0, 0.0, 10)
+        with pytest.raises(ValueError):
+            fp.max_burst_symbols(-1.0)
+
+
+class TestRelease:
+    def test_release_frees_slots(self):
+        fp = FramePlan(num_carriers=2, slots_per_frame=2)
+        fp.assign("t1", 0, 0)
+        fp.assign("t1", 1, 0)
+        fp.assign("t2", 0, 1)
+        assert fp.release("t1") == 2
+        assert fp.occupant(0, 0) is None
+        assert fp.occupant(0, 1) == "t2"
+        fp.assign("t3", 0, 0)  # slot reusable
+
+    def test_release_unknown_terminal(self):
+        fp = FramePlan()
+        assert fp.release("ghost") == 0

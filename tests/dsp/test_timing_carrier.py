@@ -1,0 +1,186 @@
+"""Tests for timing recovery ([5],[6]) and carrier recovery."""
+
+import numpy as np
+import pytest
+from scipy.signal import fftconvolve
+
+from repro.dsp.carrier import (
+    DecisionDirectedLoop,
+    data_aided_phase,
+    frequency_estimate,
+    vv_phase_estimate,
+)
+from repro.dsp.filters import srrc, upsample
+from repro.dsp.modem import PskModem
+from repro.dsp.timing import (
+    GardnerLoop,
+    cubic_interpolate,
+    loop_gains,
+    oerder_meyr_estimate,
+    oerder_meyr_recover,
+)
+
+
+def _shaped_qpsk(nsym, sps, delay_samples=0.0, seed=0, beta=0.35):
+    """QPSK burst at `sps` samples/symbol with a fractional timing offset."""
+    rng = np.random.default_rng(seed)
+    m = PskModem(4)
+    bits = rng.integers(0, 2, nsym * 2).astype(np.uint8)
+    sym = m.modulate(bits)
+    pulse = srrc(beta, sps, 10)
+    x = fftconvolve(upsample(sym, sps), pulse, mode="full")
+    if delay_samples:
+        from repro.dsp.channel import apply_delay
+
+        x = apply_delay(x, delay_samples)
+    # matched filter
+    y = fftconvolve(x, pulse[::-1], mode="full")
+    return y, sym, bits
+
+
+class TestCubicInterp:
+    def test_exact_at_integer_mu(self):
+        x = np.sin(np.arange(32) * 0.3)
+        base = np.arange(4, 20)
+        y = cubic_interpolate(x, base, np.zeros(len(base)))
+        np.testing.assert_allclose(y, x[base], atol=1e-14)
+
+    def test_reconstructs_smooth_signal(self):
+        t = np.arange(64, dtype=float)
+        x = np.sin(2 * np.pi * 0.05 * t)
+        base = np.arange(5, 55)
+        mu = np.full(len(base), 0.37)
+        y = cubic_interpolate(x, base, mu)
+        expected = np.sin(2 * np.pi * 0.05 * (base + 0.37))
+        np.testing.assert_allclose(y, expected, atol=5e-4)
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            cubic_interpolate(np.zeros(3), np.array([1]), np.array([0.5]))
+
+
+class TestOerderMeyr:
+    @pytest.mark.parametrize("true_tau", [0.0, 0.8, 1.5, 2.3, 3.6])
+    def test_estimates_fractional_offset(self, true_tau):
+        sps = 4
+        y, _, _ = _shaped_qpsk(256, sps, delay_samples=true_tau, seed=1)
+        est = oerder_meyr_estimate(y, sps)
+        # estimate is modulo sps; pulse group delay is an integer multiple
+        # of sps (2*10*sps/2 = 10*sps), so residual should equal true_tau
+        err = (est - true_tau + sps / 2) % sps - sps / 2
+        assert abs(err) < 0.15
+
+    def test_requires_sps_3(self):
+        with pytest.raises(ValueError):
+            oerder_meyr_estimate(np.zeros(100), 2)
+
+    def test_short_burst_rejected(self):
+        with pytest.raises(ValueError):
+            oerder_meyr_estimate(np.zeros(8), 4)
+
+    def test_recover_returns_symbol_stream(self):
+        sps = 4
+        y, sym, _ = _shaped_qpsk(200, sps, delay_samples=1.7, seed=2)
+        out, tau = oerder_meyr_recover(y, sps)
+        assert len(out) >= 190
+        assert 0.0 <= tau < sps
+
+    def test_recovered_symbols_match_constellation(self):
+        """After timing recovery the EVM against nearest QPSK must be small."""
+        sps = 4
+        y, sym, _ = _shaped_qpsk(300, sps, delay_samples=2.4, seed=3)
+        out, _ = oerder_meyr_recover(y, sps)
+        m = PskModem(4)
+        core = out[20:-20]
+        d = np.abs(core[:, None] - m.points[None, :]).min(axis=1)
+        evm = np.sqrt(np.mean(d**2))
+        assert evm < 0.12
+
+
+class TestGardner:
+    def test_loop_gains_positive(self):
+        kp, ki = loop_gains(0.01)
+        assert kp > 0 and ki > 0 and ki < kp
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            loop_gains(0.0)
+
+    def test_requires_2_sps(self):
+        with pytest.raises(ValueError):
+            GardnerLoop(sps=1)
+
+    def test_converges_and_demodulates(self):
+        sps = 4
+        y, sym, bits = _shaped_qpsk(2000, sps, delay_samples=1.3, seed=4)
+        loop = GardnerLoop(sps=sps, bn_ts=0.01)
+        out = loop.process(y)
+        m = PskModem(4)
+        # after convergence (skip 300 symbols) decisions must be clean
+        core = out[300:1800]
+        d = np.abs(core[:, None] - m.points[None, :]).min(axis=1)
+        assert np.sqrt(np.mean(d**2)) < 0.15
+
+    def test_error_history_settles(self):
+        sps = 4
+        y, _, _ = _shaped_qpsk(1500, sps, delay_samples=2.0, seed=5)
+        loop = GardnerLoop(sps=sps, bn_ts=0.02)
+        loop.process(y)
+        errs = np.asarray(loop.error_history)
+        early = np.mean(np.abs(errs[:100]))
+        late = np.mean(np.abs(errs[-300:]))
+        assert late < max(early, 0.05) * 1.5
+
+
+class TestCarrierRecovery:
+    def test_vv_estimates_static_phase_qpsk(self):
+        rng = np.random.default_rng(6)
+        m = PskModem(4)
+        bits = rng.integers(0, 2, 2000).astype(np.uint8)
+        sym = m.modulate(bits) * np.exp(1j * 0.1)
+        est = vv_phase_estimate(sym, order=4)
+        assert abs(est - 0.1) < 0.02
+
+    def test_vv_empty_rejected(self):
+        with pytest.raises(ValueError):
+            vv_phase_estimate(np.array([]))
+
+    def test_data_aided_phase_exact(self):
+        rng = np.random.default_rng(7)
+        m = PskModem(4)
+        ref = m.modulate(rng.integers(0, 2, 64).astype(np.uint8))
+        rx = ref * np.exp(1j * 1.234)
+        assert abs(data_aided_phase(rx, ref) - 1.234) < 1e-10
+
+    def test_data_aided_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            data_aided_phase(np.ones(3), np.ones(4))
+
+    def test_frequency_estimate_accuracy(self):
+        rng = np.random.default_rng(8)
+        m = PskModem(4)
+        sym = m.modulate(rng.integers(0, 2, 1024).astype(np.uint8))
+        f0 = 0.003
+        rx = sym * np.exp(2j * np.pi * f0 * np.arange(len(sym)))
+        est = frequency_estimate(rx, order=4)
+        assert abs(est - f0) < 2e-4
+
+    def test_frequency_estimate_needs_symbols(self):
+        with pytest.raises(ValueError):
+            frequency_estimate(np.ones(4))
+
+    def test_dd_loop_tracks_phase_ramp(self):
+        rng = np.random.default_rng(9)
+        m = PskModem(4)
+        sym = m.modulate(rng.integers(0, 2, 4000).astype(np.uint8))
+        f0 = 5e-4
+        rx = sym * np.exp(1j * (2 * np.pi * f0 * np.arange(len(sym)) + 0.3))
+        loop = DecisionDirectedLoop(order=4, bn_ts=0.02)
+        out = loop.process(rx)
+        core = out[1000:]
+        d = np.abs(core[:, None] - m.points[None, :]).min(axis=1)
+        assert np.sqrt(np.mean(d**2)) < 0.1
+
+    def test_dd_loop_invalid_order(self):
+        with pytest.raises(ValueError):
+            DecisionDirectedLoop(order=3)

@@ -1,0 +1,117 @@
+"""Closed loop: rain fade -> policy request -> decoder upgrade.
+
+The adaptive scenario the paper's flexibility enables: when the Ka-band
+uplink fades, the satellite asks the NCC's policy server for a decision
+and swaps its decoder personality to the stronger code -- in simulated
+time, over COPS.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PayloadConfig, RegenerativePayload
+from repro.dsp.channel import RainFadeProcess
+from repro.ncc import PolicyDrivenSatellite, ReconfigurationPolicyServer
+from repro.net import Link, Node
+from repro.sim import RngRegistry, Simulator
+
+GEOM = (8, 8, 32)
+
+
+class TestRainFadeModel:
+    def test_long_run_availability(self):
+        rng = RngRegistry(1).stream("rain")
+        fade = RainFadeProcess(rng, availability=0.95, mean_event_minutes=30.0)
+        raining_time = total = 0.0
+        step = 60.0
+        for _ in range(200_000):
+            fade.advance(step)
+            total += step
+            if fade.raining:
+                raining_time += step
+        frac = raining_time / total
+        assert 0.03 < frac < 0.08  # ~5 % outage target
+
+    def test_fade_depth_lognormal_positive(self):
+        rng = RngRegistry(2).stream("rain")
+        fade = RainFadeProcess(rng, availability=0.8, mean_event_minutes=10.0)
+        depths = []
+        for _ in range(50_000):
+            fade.advance(60.0)
+            if fade.raining:
+                depths.append(fade.attenuation_db())
+        depths = np.asarray(depths)
+        assert depths.min() > 0
+        assert 3.0 < np.median(depths) < 12.0  # around the 6 dB median
+
+    def test_clear_sky_zero(self):
+        rng = RngRegistry(3).stream("rain")
+        fade = RainFadeProcess(rng)
+        assert fade.attenuation_db() == 0.0
+
+    def test_validation(self):
+        rng = RngRegistry(4).stream("r")
+        with pytest.raises(ValueError):
+            RainFadeProcess(rng, availability=0.4)
+        with pytest.raises(ValueError):
+            RainFadeProcess(rng, mean_event_minutes=0.0)
+        with pytest.raises(ValueError):
+            RainFadeProcess(rng).advance(-1.0)
+
+
+class TestAdaptiveCodingLoop:
+    def test_fade_triggers_decoder_upgrade(self):
+        sim = Simulator()
+        reg = RngRegistry(7)
+        ground = Node(sim, "ncc", 1)
+        space = Node(sim, "sat", 2)
+        link = Link(sim, delay=0.25, rate_bps=1e6)
+        link.attach(ground)
+        link.attach(space)
+
+        payload = RegenerativePayload(
+            PayloadConfig(num_carriers=1, fpga_rows=GEOM[0], fpga_cols=GEOM[1],
+                          fpga_bits_per_clb=GEOM[2])
+        )
+        payload.boot(decoder="decod.none")
+        for name in ("decod.none", "decod.turbo"):
+            payload.obc.library.store(
+                payload.registry.get(name).bitstream_for(*GEOM)
+            )
+        pdp = ReconfigurationPolicyServer(ground)
+        pdp.set_policy("decod0", "rain-fade", "decod.turbo")
+        pdp.set_policy("decod0", "clear-sky", "decod.none")
+        pep = PolicyDrivenSatellite(space, payload.obc, pdp_address=1)
+
+        fade = RainFadeProcess(
+            reg.stream("rain"), availability=0.7, mean_event_minutes=20.0
+        )
+        transitions = []
+
+        def weather_watch(sim):
+            yield from pep.start()
+            state = False
+            for _ in range(500):
+                yield sim.timeout(120.0)
+                fade.advance(120.0)
+                deep = fade.attenuation_db() > 3.0
+                if deep and not state:
+                    state = True
+                    yield from pep.request_policy("decod0", "rain-fade")
+                    transitions.append(("fade", sim.now, payload.decoder.loaded_design))
+                elif not deep and state:
+                    state = False
+                    yield from pep.request_policy("decod0", "clear-sky")
+                    transitions.append(("clear", sim.now, payload.decoder.loaded_design))
+
+        sim.process(weather_watch(sim))
+        sim.run(until=500 * 120.0 + 100)
+
+        assert len(transitions) >= 2
+        fades = [t for t in transitions if t[0] == "fade"]
+        clears = [t for t in transitions if t[0] == "clear"]
+        assert all(t[2] == "decod.turbo" for t in fades)
+        assert all(t[2] == "decod.none" for t in clears)
+        # the reports reached the NCC
+        assert len(pdp.reports) == len(transitions)
+        assert all(r.success for r in pdp.reports)

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script must run to completion.
+
+Protects deliverable (b): the examples are the public face of the
+library and must not rot.  Each runs as a subprocess with a generous
+timeout; heavyweight sweeps use their --fast mode.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=420):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "per-carrier demodulation" in out
+        assert "packet switch" in out
+
+    def test_waveform_reconfiguration(self):
+        out = run_example("waveform_reconfiguration.py")
+        assert "phase 3 - TDMA service" in out
+        assert "success:  True" in out
+
+    def test_policy_reconfiguration(self):
+        out = run_example("policy_reconfiguration.py")
+        assert "2 successful" in out
+
+    def test_mission_lifetime(self):
+        out = run_example("mission_lifetime.py")
+        assert "all planned changes executed" in out
+        assert "IMPOSSIBLE" in out
+
+    def test_mftdma_network(self):
+        out = run_example("mftdma_network.py")
+        assert "utilization" in out
+
+    def test_decoder_tradeoffs_fast(self):
+        out = run_example("decoder_tradeoffs.py", "--fast")
+        assert "decoder gate budgets" in out
+
+    def test_adaptive_fade(self):
+        out = run_example("adaptive_fade.py")
+        assert "rain events" in out
+        assert "all reports ok: True" in out
+
+    @pytest.mark.slow
+    def test_seu_campaign(self):
+        out = run_example("seu_campaign.py")
+        assert "blind scrubbing" in out
+
+    @pytest.mark.slow
+    def test_protocol_comparison(self):
+        out = run_example("protocol_comparison.py")
+        assert "256 kB" in out

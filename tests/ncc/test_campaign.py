@@ -1,0 +1,177 @@
+"""Tests for end-to-end NCC reconfiguration campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core import PayloadConfig, RegenerativePayload
+from repro.ncc import NetworkControlCenter, SatelliteGateway
+from repro.net import Link, Node
+from repro.sim import RngRegistry, Simulator
+
+GEOM = (8, 8, 32)
+
+
+def setup_scenario(ber=0.0, seed=0, rate=1e6, num_carriers=2):
+    sim = Simulator()
+    ground = Node(sim, "ncc", 1)
+    space = Node(sim, "sat", 2)
+    rng = RngRegistry(seed).stream("link") if ber > 0 else None
+    link = Link(sim, delay=0.25, rate_bps=rate, ber=ber, rng=rng)
+    link.attach(ground)
+    link.attach(space)
+    payload = RegenerativePayload(
+        PayloadConfig(
+            num_carriers=num_carriers,
+            fpga_rows=GEOM[0],
+            fpga_cols=GEOM[1],
+            fpga_bits_per_clb=GEOM[2],
+        )
+    )
+    payload.boot(modem="modem.cdma")
+    gateway = SatelliteGateway(space, payload)
+    ncc = NetworkControlCenter(
+        ground, payload.registry, sat_address=2, fpga_geometry=GEOM
+    )
+    return sim, payload, gateway, ncc
+
+
+class TestCampaign:
+    @pytest.mark.parametrize("protocol", ["ftp", "tftp", "scps"])
+    def test_waveform_change_over_each_protocol(self, protocol):
+        """The Fig. 3 CDMA->TDMA change, through each N3 protocol."""
+        sim, payload, gw, ncc = setup_scenario()
+        results = {}
+
+        def campaign(sim):
+            res = yield from ncc.reconfigure_equipment(
+                "demod0", "modem.tdma", protocol=protocol
+            )
+            results["res"] = res
+
+        sim.process(campaign(sim))
+        sim.run(until=3600)
+        res = results["res"]
+        assert res.success
+        assert payload.demods[0].loaded_design == "modem.tdma"
+        assert payload.demods[1].loaded_design == "modem.cdma"  # untouched
+        assert res.crc is not None
+
+    def test_crc_telemetry_matches_uploaded_image(self):
+        sim, payload, gw, ncc = setup_scenario()
+        results = {}
+
+        def campaign(sim):
+            results["res"] = yield from ncc.reconfigure_equipment(
+                "demod0", "modem.tdma", protocol="ftp"
+            )
+
+        sim.process(campaign(sim))
+        sim.run(until=3600)
+        expected = payload.registry.get("modem.tdma").bitstream_for(*GEOM).crc32()
+        assert results["res"].crc == expected
+
+    def test_upload_dominates_campaign_time(self):
+        """§3.1: on a narrow TC uplink the file transfer dominates; the
+        on-board steps (FPGA load + CRC) are comparatively fast."""
+        sim, payload, gw, ncc = setup_scenario(rate=20e3)  # 20 kbps TC link
+        results = {}
+
+        def campaign(sim):
+            results["res"] = yield from ncc.reconfigure_equipment(
+                "demod0", "modem.tdma", protocol="ftp"
+            )
+
+        sim.process(campaign(sim))
+        sim.run(until=3600)
+        res = results["res"]
+        # the on-board outage is milliseconds; the upload is seconds
+        assert res.upload_seconds > 10 * res.telemetry["outage_s"]
+
+    def test_campaign_survives_lossy_link(self):
+        sim, payload, gw, ncc = setup_scenario(ber=1e-6, seed=4)
+        results = {}
+
+        def campaign(sim):
+            results["res"] = yield from ncc.reconfigure_equipment(
+                "demod0", "modem.tdma", protocol="ftp"
+            )
+
+        sim.process(campaign(sim))
+        sim.run(until=3600)
+        assert results["res"].success
+
+    def test_decoder_change_campaign(self):
+        """§2.3 bullet 1: swap the decoder personality in orbit."""
+        sim, payload, gw, ncc = setup_scenario()
+        results = {}
+
+        def campaign(sim):
+            results["res"] = yield from ncc.reconfigure_equipment(
+                "decod0", "decod.turbo", protocol="ftp"
+            )
+
+        sim.process(campaign(sim))
+        sim.run(until=3600)
+        assert results["res"].success
+        assert payload.decoder.loaded_design == "decod.turbo"
+
+    def test_status_telecommand_roundtrip(self):
+        sim, payload, gw, ncc = setup_scenario()
+        results = {}
+
+        def q(sim):
+            results["reply"] = yield from ncc.send_telecommand("status", {})
+
+        sim.process(q(sim))
+        sim.run(until=60)
+        reply = results["reply"]
+        assert reply["success"]
+        assert reply["payload"]["demod0"]["design"] == "modem.cdma"
+
+    def test_unknown_protocol_rejected(self):
+        sim, payload, gw, ncc = setup_scenario()
+        errors = {}
+
+        def campaign(sim):
+            try:
+                yield from ncc.reconfigure_equipment(
+                    "demod0", "modem.tdma", protocol="carrier-pigeon"
+                )
+            except ValueError as exc:
+                errors["err"] = str(exc)
+
+        sim.process(campaign(sim))
+        sim.run(until=60)
+        assert "unknown protocol" in errors["err"]
+
+    def test_traffic_resumes_after_reconfiguration(self):
+        """After the in-orbit swap, the new TDMA personality demodulates."""
+        sim, payload, gw, ncc = setup_scenario(num_carriers=1)
+
+        def campaign(sim):
+            yield from ncc.reconfigure_equipment(
+                "demod0", "modem.tdma", protocol="ftp"
+            )
+
+        sim.process(campaign(sim))
+        sim.run(until=3600)
+        assert payload.demods[0].loaded_design == "modem.tdma"
+        reg = RngRegistry(9)
+        modem = payload.demods[0].behaviour()
+        bits = [
+            reg.stream("b").integers(0, 2, modem.bits_per_burst).astype(np.uint8)
+        ]
+        out = payload.process_uplink(payload.build_uplink(bits))
+        assert np.mean(out["bits"][0] != bits[0]) == 0
+
+    def test_results_accumulate(self):
+        sim, payload, gw, ncc = setup_scenario()
+
+        def campaign(sim):
+            yield from ncc.reconfigure_equipment("demod0", "modem.tdma", protocol="ftp")
+            yield from ncc.reconfigure_equipment("demod1", "modem.tdma", protocol="ftp")
+
+        sim.process(campaign(sim))
+        sim.run(until=3600)
+        assert len(ncc.results) == 2
+        assert all(r.success for r in ncc.results)

@@ -1,0 +1,98 @@
+"""Tests for the traffic-evolution model and mission planner."""
+
+import numpy as np
+import pytest
+
+from repro.ncc import MissionPlanner, TrafficModel
+from repro.ncc.traffic import ServiceMix
+
+
+class TestServiceMix:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ServiceMix(0.0, 0.5, 0.1, 0.1, 1.0)
+
+
+class TestTrafficModel:
+    def test_launch_mix_voice_dominated(self):
+        mix = TrafficModel().mix_at(0.0)
+        assert mix.voice == pytest.approx(0.8)
+        assert mix.video == pytest.approx(0.0, abs=1e-9)
+
+    def test_voice_drops_below_20_percent(self):
+        """The paper: 'voice traffic should represent less than 20 %'."""
+        tm = TrafficModel()
+        year = tm.years_until_voice_below(0.2)
+        assert 2.0 < year < 10.0
+        assert tm.mix_at(year + 0.1).voice < 0.2
+
+    def test_video_replaces_text(self):
+        """'text data (SMS) ... slowly replaced by video data'."""
+        tm = TrafficModel()
+        early = tm.mix_at(1.0)
+        late = tm.mix_at(8.0)
+        assert early.text > early.video * 0.8
+        assert late.video > late.text * 5
+
+    def test_total_demand_grows(self):
+        tm = TrafficModel()
+        totals = [tm.mix_at(float(y)).total_mbps for y in range(0, 15, 3)]
+        assert all(b > a for a, b in zip(totals, totals[1:]))
+
+    def test_fractions_always_normalized(self):
+        tm = TrafficModel()
+        for y in np.linspace(0, 15, 40):
+            mix = tm.mix_at(float(y))
+            assert np.isclose(mix.voice + mix.text + mix.video, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficModel(launch_total_mbps=0.0)
+        with pytest.raises(ValueError):
+            TrafficModel(voice_initial=0.05, voice_floor=0.10)
+        with pytest.raises(ValueError):
+            TrafficModel().mix_at(-1.0)
+        with pytest.raises(ValueError):
+            TrafficModel().years_until_voice_below(0.95)
+
+
+class TestMissionPlanner:
+    def test_schedule_contains_both_change_kinds(self):
+        """The mission needs waveform AND decoder reconfigurations --
+        the paper's two §2.3 examples."""
+        plan = MissionPlanner(TrafficModel()).schedule()
+        functions = {c.function for c in plan}
+        assert "modem.tdma" in functions
+        assert "decod.conv" in functions or "decod.turbo" in functions
+
+    def test_changes_ordered_in_time(self):
+        plan = MissionPlanner(TrafficModel()).schedule()
+        years = [c.year for c in plan]
+        assert years == sorted(years)
+
+    def test_waveform_change_when_demand_exceeds_ceiling(self):
+        plan = MissionPlanner(TrafficModel()).schedule()
+        wf = [c for c in plan if c.function == "modem.tdma"]
+        assert len(wf) == 1
+        mp = MissionPlanner(TrafficModel())
+        assert mp.per_user_demand(wf[0].year) > mp.CDMA_CEILING_MBPS
+
+    def test_decoder_stepped_up_not_down(self):
+        plan = MissionPlanner(TrafficModel()).schedule()
+        decs = [c.function for c in plan if c.equipment == "decod0"]
+        assert decs == sorted(decs)  # conv before turbo alphabetically & in time
+
+    def test_no_changes_for_flat_traffic(self):
+        """A static mission needs no reconfiguration (transparent-payload
+        world) -- the planner is not trigger-happy."""
+        flat = TrafficModel(launch_total_mbps=0.5, growth_per_year=0.0,
+                            voice_initial=0.8, voice_floor=0.75,
+                            voice_decay_years=100.0)
+        plan = MissionPlanner(flat).schedule()
+        assert plan == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MissionPlanner(TrafficModel(), mission_years=0.0)
+        with pytest.raises(ValueError):
+            MissionPlanner(TrafficModel()).per_user_demand(1.0, users=0)

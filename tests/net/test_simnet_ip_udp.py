@@ -1,0 +1,233 @@
+"""Tests for the link model, IP layer and UDP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import IpPacket, Link, Node, UdpSocket
+from repro.net.ip import _checksum
+from repro.net.simnet import GEO_ONE_WAY_DELAY
+from repro.sim import RngRegistry, Simulator
+
+
+def fresh(delay=0.25, rate=1e6, ber=0.0, rng=None):
+    sim = Simulator()
+    a = Node(sim, "ncc", 1)
+    b = Node(sim, "sat", 2)
+    link = Link(sim, delay=delay, rate_bps=rate, ber=ber, rng=rng)
+    link.attach(a)
+    link.attach(b)
+    return sim, a, b, link
+
+
+class TestLink:
+    def test_geo_delay_constant(self):
+        assert GEO_ONE_WAY_DELAY == 0.25
+
+    def test_propagation_plus_serialization(self):
+        sim, a, b, link = fresh(delay=0.1, rate=8000.0)  # 1 kB/s
+        got = []
+        b.frame_tap = lambda f: got.append((sim.now, f))
+        a.send_frame(b"x" * 100)  # 800 bits -> 0.1 s serialization
+        sim.run()
+        assert len(got) == 1
+        assert np.isclose(got[0][0], 0.1 + 0.1)
+
+    def test_fifo_queueing_per_direction(self):
+        sim, a, b, link = fresh(delay=0.0, rate=8000.0)
+        got = []
+        b.frame_tap = lambda f: got.append(sim.now)
+        a.send_frame(b"x" * 100)
+        a.send_frame(b"y" * 100)  # must wait for the first
+        sim.run()
+        assert np.isclose(got[0], 0.1)
+        assert np.isclose(got[1], 0.2)
+
+    def test_ber_drops_frames(self):
+        rng = RngRegistry(0).stream("link")
+        sim, a, b, link = fresh(ber=0.01, rng=rng)  # hopeless for 1kb frames
+        got = []
+        b.frame_tap = lambda f: got.append(f)
+        for _ in range(50):
+            a.send_frame(bytes(125))  # 1000 bits: P(ok) ~ 4e-5
+        sim.run()
+        assert len(got) == 0
+        assert link.stats["dropped"] == 50
+
+    def test_lossy_link_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, ber=0.1)
+
+    def test_third_endpoint_rejected(self):
+        sim, a, b, link = fresh()
+        with pytest.raises(ValueError):
+            link.attach(Node(sim, "c", 3))
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, delay=-1)
+        with pytest.raises(ValueError):
+            Link(sim, rate_bps=0)
+
+
+class TestIp:
+    def test_packet_roundtrip(self):
+        pkt = IpPacket(src=1, dst=2, proto=17, ident=42, payload=b"hello")
+        out = IpPacket.decode(pkt.encode())
+        assert (out.src, out.dst, out.proto, out.ident, out.payload) == (
+            1, 2, 17, 42, b"hello",
+        )
+
+    def test_checksum_detects_corruption(self):
+        data = bytearray(IpPacket(1, 2, 17, 1, b"payload").encode())
+        data[4] ^= 0xFF  # corrupt a header byte
+        with pytest.raises(ValueError):
+            IpPacket.decode(bytes(data))
+
+    def test_checksum_ones_complement_zero(self):
+        # checksum of data including its own checksum verifies to 0
+        data = b"\x12\x34\x56\x78"
+        ck = _checksum(data)
+        import struct
+
+        assert _checksum(data + struct.pack(">H", ck)) == 0
+
+    def test_delivery_to_protocol_handler(self):
+        sim, a, b, _ = fresh()
+        got = []
+        b.ip.register_protocol(99, lambda pkt: got.append(pkt.payload))
+        a.ip.send(2, 99, b"data")
+        sim.run()
+        assert got == [b"data"]
+
+    def test_wrong_destination_ignored(self):
+        sim, a, b, _ = fresh()
+        got = []
+        b.ip.register_protocol(99, lambda pkt: got.append(pkt))
+        a.ip.send(77, 99, b"data")  # no node 77 on this hop
+        sim.run()
+        assert got == []
+
+    def test_fragmentation_reassembly(self):
+        sim, a, b, _ = fresh()
+        got = []
+        b.ip.register_protocol(99, lambda pkt: got.append(pkt.payload))
+        payload = bytes(range(256)) * 20  # 5120 bytes > 1024 MTU
+        a.ip.send(2, 99, payload)
+        sim.run()
+        assert got == [payload]
+        assert a.ip.stats["fragments"] > 1
+
+    def test_fragment_loss_means_no_delivery(self):
+        rng = RngRegistry(1).stream("l")
+        sim, a, b, link = fresh(ber=2e-4, rng=rng)
+        got = []
+        b.ip.register_protocol(99, lambda pkt: got.append(pkt.payload))
+        a.ip.send(2, 99, bytes(4096))
+        sim.run()
+        # with this BER most 1kB fragments drop; reassembly must not
+        # deliver a partial datagram
+        assert got == [] or got == [bytes(4096)]
+
+    def test_mtu_validation(self):
+        from repro.net.ip import IpStack
+
+        sim = Simulator()
+        node = Node(sim, "n", 5)
+        with pytest.raises(ValueError):
+            IpStack(node, mtu=10)
+
+    @given(st.binary(min_size=0, max_size=3000))
+    @settings(max_examples=30, deadline=None)
+    def test_any_payload_survives_property(self, payload):
+        sim, a, b, _ = fresh()
+        got = []
+        b.ip.register_protocol(99, lambda pkt: got.append(pkt.payload))
+        a.ip.send(2, 99, payload)
+        sim.run()
+        assert got == [payload]
+
+
+class TestUdp:
+    def test_request_response_timing(self):
+        sim, a, b, _ = fresh(delay=0.25)
+        results = {}
+
+        def server(sim):
+            s = UdpSocket(b.ip, 69)
+            data, (addr, port) = yield s.recv()
+            s.sendto(b"pong", addr, port)
+
+        def client(sim):
+            s = UdpSocket(a.ip)
+            s.sendto(b"ping", 2, 69)
+            data, _src = yield s.recv()
+            results["t"] = sim.now
+            results["data"] = data
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run()
+        assert results["data"] == b"pong"
+        assert 0.5 < results["t"] < 0.52  # one RTT plus serialization
+
+    def test_port_collision_rejected(self):
+        sim, a, _, _ = fresh()
+        UdpSocket(a.ip, 1000)
+        with pytest.raises(OSError):
+            UdpSocket(a.ip, 1000)
+
+    def test_close_releases_port(self):
+        sim, a, _, _ = fresh()
+        s = UdpSocket(a.ip, 1000)
+        s.close()
+        UdpSocket(a.ip, 1000)  # rebind OK
+
+    def test_closed_socket_rejects_io(self):
+        sim, a, _, _ = fresh()
+        s = UdpSocket(a.ip, 1000)
+        s.close()
+        with pytest.raises(OSError):
+            s.sendto(b"x", 2, 1)
+        with pytest.raises(OSError):
+            s.recv()
+
+    def test_ephemeral_ports_unique(self):
+        sim, a, _, _ = fresh()
+        s1 = UdpSocket(a.ip)
+        s2 = UdpSocket(a.ip)
+        assert s1.port != s2.port
+
+    def test_cancel_recv_prevents_datagram_theft(self):
+        """A withdrawn getter must not swallow a later datagram."""
+        sim, a, b, _ = fresh()
+        results = {}
+
+        def client(sim):
+            s = UdpSocket(a.ip, 500)
+            ev = s.recv()
+            yield sim.timeout(0.1)  # nothing arrives
+            assert s.cancel_recv(ev)
+            # now the real receive
+            data, _src = yield s.recv()
+            results["data"] = data
+
+        def server(sim):
+            s = UdpSocket(b.ip, 501)
+            yield sim.timeout(0.2)
+            s.sendto(b"late", 1, 500)
+
+        sim.process(client(sim))
+        sim.process(server(sim))
+        sim.run()
+        assert results["data"] == b"late"
+
+    def test_port_range_validation(self):
+        sim, a, _, _ = fresh()
+        with pytest.raises(ValueError):
+            UdpSocket(a.ip, 0)
+        with pytest.raises(ValueError):
+            UdpSocket(a.ip, 70000)

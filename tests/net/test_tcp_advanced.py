@@ -1,0 +1,186 @@
+"""Additional TCP behaviours: bidirectional streams, interleaved
+connections, teardown semantics."""
+
+import numpy as np
+import pytest
+
+from repro.net import Link, Node, TcpConnection, TcpListener
+from repro.sim import RngRegistry, Simulator
+
+
+def pair(ber=0.0, seed=0, rate=1e6):
+    sim = Simulator()
+    a = Node(sim, "a", 1)
+    b = Node(sim, "b", 2)
+    rng = RngRegistry(seed).stream("l") if ber else None
+    link = Link(sim, delay=0.1, rate_bps=rate, ber=ber, rng=rng)
+    link.attach(a)
+    link.attach(b)
+    return sim, a, b
+
+
+class TestBidirectional:
+    def test_full_duplex_exchange(self):
+        """Both directions carry data on one connection simultaneously."""
+        sim, a, b = pair()
+        up = bytes(range(256)) * 40
+        down = bytes(reversed(range(256))) * 30
+        got = {}
+
+        def srv(sim):
+            lst = TcpListener(b.ip, 80)
+            conn = yield lst.accept()
+            conn.send(down)
+            buf = bytearray()
+            while len(buf) < len(up):
+                chunk = yield conn.recv()
+                if chunk is None:
+                    break
+                buf.extend(chunk)
+            got["up"] = bytes(buf)
+
+        def cli(sim):
+            conn = TcpConnection(a.ip, 41000, 2, 80)
+            yield conn.connect()
+            conn.send(up)
+            buf = bytearray()
+            while len(buf) < len(down):
+                chunk = yield conn.recv()
+                if chunk is None:
+                    break
+                buf.extend(chunk)
+            got["down"] = bytes(buf)
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run(until=300)
+        assert got.get("up") == up
+        assert got.get("down") == down
+
+    def test_many_sequential_connections(self):
+        """Fresh local ports allow back-to-back sessions to one server."""
+        sim, a, b = pair()
+        served = []
+
+        def srv(sim):
+            lst = TcpListener(b.ip, 80)
+            while True:
+                conn = yield lst.accept()
+                chunk = yield conn.recv()
+                served.append(chunk)
+
+        def cli(sim):
+            for i in range(5):
+                conn = TcpConnection(a.ip, 42000 + i, 2, 80)
+                yield conn.connect()
+                conn.send(bytes([i]) * 100)
+                conn.close()
+                yield sim.timeout(1.0)
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run(until=120)
+        assert len(served) == 5
+        for i, chunk in enumerate(served):
+            assert chunk == bytes([i]) * 100
+
+    def test_interleaved_parallel_connections(self):
+        """Two clients transfer concurrently without crosstalk."""
+        sim, a, b = pair(rate=1e7)
+        payloads = {0: bytes([7]) * 20000, 1: bytes([9]) * 20000}
+        got = {}
+
+        def srv(sim):
+            lst = TcpListener(b.ip, 80)
+            while True:
+                conn = yield lst.accept()
+                sim.process(session(sim, conn))
+
+        def session(sim, conn):
+            buf = bytearray()
+            while True:
+                chunk = yield conn.recv()
+                if chunk is None:
+                    break
+                buf.extend(chunk)
+            got[buf[0]] = bytes(buf)
+
+        def cli(sim, idx):
+            conn = TcpConnection(a.ip, 43000 + idx, 2, 80)
+            yield conn.connect()
+            conn.send(payloads[idx])
+            conn.close()
+
+        sim.process(srv(sim))
+        sim.process(cli(sim, 0))
+        sim.process(cli(sim, 1))
+        sim.run(until=300)
+        assert got.get(7) == payloads[0]
+        assert got.get(9) == payloads[1]
+
+
+class TestTeardown:
+    def test_fin_delivers_eof_after_data(self):
+        sim, a, b = pair()
+        events = []
+
+        def srv(sim):
+            lst = TcpListener(b.ip, 80)
+            conn = yield lst.accept()
+            while True:
+                chunk = yield conn.recv()
+                events.append(chunk)
+                if chunk is None:
+                    return
+
+        def cli(sim):
+            conn = TcpConnection(a.ip, 44000, 2, 80)
+            yield conn.connect()
+            conn.send(b"last words")
+            conn.close()
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run(until=60)
+        assert events == [b"last words", None]
+
+    def test_close_idempotent(self):
+        sim, a, b = pair()
+        TcpListener(b.ip, 80)
+        conn = TcpConnection(a.ip, 45000, 2, 80)
+
+        def cli(sim):
+            yield conn.connect()
+            conn.close()
+            conn.close()  # second close is a no-op
+            yield conn.wait_closed()
+
+        p = sim.process(cli(sim))
+        sim.run(until=60)
+        assert p.processed and p.ok
+
+    def test_wait_closed_fires_on_fin_ack(self):
+        sim, a, b = pair()
+        t_closed = {}
+
+        def srv(sim):
+            lst = TcpListener(b.ip, 80)
+            conn = yield lst.accept()
+            while True:
+                chunk = yield conn.recv()
+                if chunk is None:
+                    return
+
+        def cli(sim):
+            conn = TcpConnection(a.ip, 46000, 2, 80)
+            yield conn.connect()
+            conn.send(bytes(1000))
+            conn.close()
+            yield conn.wait_closed()
+            t_closed["t"] = sim.now
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run(until=60)
+        assert "t" in t_closed
+        assert t_closed["t"] < 10.0

@@ -1,0 +1,284 @@
+"""Tests for the TM/TC layer, COPS and IPsec-ESP."""
+
+import pytest
+
+from repro.net import (
+    CopsClient,
+    CopsServer,
+    Decision,
+    EspTunnel,
+    Link,
+    Node,
+    Report,
+    Request,
+    UdpSocket,
+)
+from repro.net.ipsec import IpsecError, xtea_encrypt_block
+from repro.net.tmtc import FRAME_DATA_MAX, TcFrame, TmtcLayer
+from repro.sim import RngRegistry, Simulator
+
+
+def fresh(ber=0.0, seed=0, rate=1e6):
+    sim = Simulator()
+    a = Node(sim, "ncc", 1)
+    b = Node(sim, "sat", 2)
+    rng = RngRegistry(seed).stream("link") if ber > 0 else None
+    link = Link(sim, delay=0.25, rate_bps=rate, ber=ber, rng=rng)
+    link.attach(a)
+    link.attach(b)
+    return sim, a, b, link
+
+
+class TestTcFrame:
+    def test_roundtrip(self):
+        f = TcFrame(vc=3, flags=0x30, seq=7, data=b"telecommand")
+        g = TcFrame.decode(f.encode())
+        assert (g.vc, g.flags, g.seq, g.data) == (3, 0x30, 7, b"telecommand")
+
+    def test_crc_detects_corruption(self):
+        raw = bytearray(TcFrame(0, 0, 0, b"data").encode())
+        raw[3] ^= 0x40
+        with pytest.raises(ValueError):
+            TcFrame.decode(bytes(raw))
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(ValueError):
+            TcFrame.decode(b"abc")
+
+
+class TestTmtcLayer:
+    def test_express_mode_delivers_sdu(self):
+        sim, a, b, _ = fresh()
+        ta = TmtcLayer(a)
+        tb = TmtcLayer(b)
+        got = []
+        tb.register_handler(0, got.append)
+        sdu = bytes(range(256)) * 4  # > one frame -> segmentation
+        ta.send_sdu(sdu, vc=0, mode="BD")
+        sim.run()
+        assert got == [sdu]
+
+    def test_express_mode_loses_on_bad_link(self):
+        """BD has no ARQ: heavy loss kills the SDU (the paper's 'small
+        test in question/response mode' use case only)."""
+        sim, a, b, _ = fresh(ber=1e-3, seed=1)
+        ta = TmtcLayer(a)
+        tb = TmtcLayer(b)
+        got = []
+        tb.register_handler(0, got.append)
+        ta.send_sdu(bytes(2000), vc=0, mode="BD")
+        sim.run()
+        assert got == []
+
+    def test_controlled_mode_retransmits(self):
+        """AD mode survives frame loss via go-back-N (the 'reliable
+        transfer of data configuration' mode)."""
+        sim, a, b, link = fresh(ber=1e-4, seed=2)
+        ta = TmtcLayer(a, rto=0.8)
+        tb = TmtcLayer(b, rto=0.8)
+        got = []
+        tb.register_handler(0, got.append)
+        sdu = bytes(range(256)) * 16  # 4 kB -> ~17 frames
+        ta.send_sdu(sdu, vc=0, mode="AD")
+        sim.run(until=120)
+        assert got == [sdu]
+        assert link.stats["dropped"] > 0
+        assert ta._senders[0].retransmissions > 0
+
+    def test_virtual_channels_isolated(self):
+        """'Some virtual channels may be dedicated to the reconfiguration
+        procedure' -- traffic must demux by VC."""
+        sim, a, b, _ = fresh()
+        ta = TmtcLayer(a)
+        tb = TmtcLayer(b)
+        vc0, vc1 = [], []
+        tb.register_handler(0, vc0.append)
+        tb.register_handler(1, vc1.append)
+        ta.send_sdu(b"ops", vc=0, mode="AD")
+        ta.send_sdu(b"reconfig", vc=1, mode="AD")
+        sim.run(until=60)
+        assert vc0 == [b"ops"]
+        assert vc1 == [b"reconfig"]
+
+    def test_ip_over_tmtc(self):
+        """The paper: 'IP stack replaces the data management service'."""
+        sim, a, b, _ = fresh()
+        ta = TmtcLayer(a)
+        tb = TmtcLayer(b)
+        ta.install_under_ip(vc=1, mode="AD")
+        tb.install_under_ip(vc=1, mode="AD")
+        results = {}
+
+        def server(sim):
+            s = UdpSocket(b.ip, 1000)
+            data, _src = yield s.recv()
+            results["data"] = data
+
+        def client(sim):
+            s = UdpSocket(a.ip)
+            s.sendto(bytes(range(200)), 2, 1000)
+            yield sim.timeout(0)
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run(until=60)
+        assert results.get("data") == bytes(range(200))
+
+    def test_ip_over_lossy_tmtc_controlled(self):
+        sim, a, b, link = fresh(ber=4e-5, seed=3)
+        ta = TmtcLayer(a, rto=0.8)
+        tb = TmtcLayer(b, rto=0.8)
+        ta.install_under_ip(vc=1, mode="AD")
+        tb.install_under_ip(vc=1, mode="AD")
+        results = {}
+
+        def server(sim):
+            s = UdpSocket(b.ip, 1000)
+            data, _src = yield s.recv()
+            results["data"] = data
+
+        def client(sim):
+            s = UdpSocket(a.ip)
+            s.sendto(bytes(range(256)) * 8, 2, 1000)
+            yield sim.timeout(0)
+
+        sim.process(server(sim))
+        sim.process(client(sim))
+        sim.run(until=300)
+        assert results.get("data") == bytes(range(256)) * 8
+
+    def test_mode_validation(self):
+        sim, a, _, _ = fresh()
+        ta = TmtcLayer(a)
+        with pytest.raises(ValueError):
+            ta.send_sdu(b"x", mode="XX")
+
+    def test_frame_size_validation(self):
+        sim, a, _, _ = fresh()
+        with pytest.raises(ValueError):
+            TmtcLayer(a, frame_data_max=4)
+
+    def test_frame_data_budget(self):
+        assert FRAME_DATA_MAX == 249
+
+
+class TestCops:
+    def test_request_decision_report_loop(self):
+        sim, a, b, _ = fresh()
+        decisions_made = []
+
+        def policy(req):
+            decisions_made.append(req.handle)
+            return Decision(handle=req.handle, directives={"action": "reload"})
+
+        pdp = CopsServer(a.ip, policy)
+        results = {}
+
+        def pep(sim):
+            c = CopsClient(b.ip, 1)
+            yield from c.open()
+            dec = yield from c.request(Request(handle=5, context={"k": "v"}))
+            results["directives"] = dec.directives
+            c.report(Report(handle=5, success=True, detail={"crc": "ok"}))
+
+        def reports(sim):
+            rpt = yield pdp.reports.get()
+            results["report"] = (rpt.handle, rpt.success)
+
+        sim.process(pep(sim))
+        sim.process(reports(sim))
+        sim.run(until=60)
+        assert results["directives"] == {"action": "reload"}
+        assert results["report"] == (5, True)
+        assert decisions_made == [5]
+
+    def test_unsolicited_decision_push(self):
+        """'transmitted at ... the server initiative'."""
+        sim, a, b, _ = fresh()
+        pdp = CopsServer(a.ip, lambda req: Decision(handle=req.handle))
+        results = {}
+
+        def pep(sim):
+            c = CopsClient(b.ip, 1)
+            yield from c.open()
+            yield sim.timeout(1.0)
+            dec = yield c.decisions.get()
+            results["pushed"] = dec.directives
+
+        def pusher(sim):
+            yield sim.timeout(2.0)
+            pdp.push_decision(2, Decision(handle=99, directives={"load": "tdma"}))
+
+        sim.process(pep(sim))
+        sim.process(pusher(sim))
+        sim.run(until=60)
+        assert results["pushed"] == {"load": "tdma"}
+
+    def test_request_before_open_rejected(self):
+        sim, a, b, _ = fresh()
+        CopsServer(a.ip, lambda req: Decision(handle=req.handle))
+        c = CopsClient(b.ip, 1)
+        with pytest.raises(OSError):
+            c.report(Report(handle=1, success=True))
+
+    def test_push_to_unknown_client(self):
+        sim, a, _, _ = fresh()
+        pdp = CopsServer(a.ip, lambda req: Decision(handle=req.handle))
+        with pytest.raises(KeyError):
+            pdp.push_decision(42, Decision(handle=1))
+
+
+class TestIpsec:
+    def test_xtea_known_shape(self):
+        ct = xtea_encrypt_block(b"\x00" * 8, b"\x00" * 16)
+        assert len(ct) == 8
+        assert ct != b"\x00" * 8
+
+    def test_xtea_validation(self):
+        with pytest.raises(ValueError):
+            xtea_encrypt_block(b"short", b"\x00" * 16)
+        with pytest.raises(ValueError):
+            xtea_encrypt_block(b"\x00" * 8, b"short")
+
+    def test_protect_unprotect_roundtrip(self):
+        a = EspTunnel(b"k" * 16)
+        b = EspTunnel(b"k" * 16)
+        for msg in (b"", b"x", b"bitstream" * 100):
+            assert b.unprotect(a.protect(msg)) == msg
+
+    def test_ciphertext_differs_from_plaintext(self):
+        a = EspTunnel(b"k" * 16)
+        packet = a.protect(b"secret configuration data")
+        assert b"secret" not in packet
+
+    def test_tamper_detected(self):
+        a = EspTunnel(b"k" * 16)
+        b = EspTunnel(b"k" * 16)
+        pkt = bytearray(a.protect(b"payload"))
+        pkt[10] ^= 1
+        with pytest.raises(IpsecError):
+            b.unprotect(bytes(pkt))
+
+    def test_replay_rejected(self):
+        a = EspTunnel(b"k" * 16)
+        b = EspTunnel(b"k" * 16)
+        pkt = a.protect(b"once")
+        b.unprotect(pkt)
+        with pytest.raises(IpsecError):
+            b.unprotect(pkt)
+
+    def test_wrong_key_rejected(self):
+        a = EspTunnel(b"k" * 16)
+        b = EspTunnel(b"j" * 16)
+        with pytest.raises(IpsecError):
+            b.unprotect(a.protect(b"data"))
+
+    def test_wrong_spi_rejected(self):
+        a = EspTunnel(b"k" * 16, spi=1)
+        b = EspTunnel(b"k" * 16, spi=2)
+        with pytest.raises(IpsecError):
+            b.unprotect(a.protect(b"data"))
+
+    def test_key_length_validation(self):
+        with pytest.raises(ValueError):
+            EspTunnel(b"short")

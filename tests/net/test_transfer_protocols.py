@@ -1,0 +1,383 @@
+"""Tests for TCP and the three file-transfer protocols (TFTP/FTP/SCPS-FP)."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    FtpClient,
+    FtpServer,
+    Link,
+    Node,
+    ScpsFpReceiver,
+    ScpsFpSender,
+    TcpConnection,
+    TcpListener,
+    TftpClient,
+    TftpServer,
+)
+from repro.net.ftp import FtpError
+from repro.net.tftp import TftpError
+from repro.sim import RngRegistry, Simulator
+
+
+def fresh(delay=0.25, rate=1e6, ber=0.0, seed=0):
+    sim = Simulator()
+    a = Node(sim, "ncc", 1)
+    b = Node(sim, "sat", 2)
+    rng = RngRegistry(seed).stream("link") if ber > 0 else None
+    link = Link(sim, delay=delay, rate_bps=rate, ber=ber, rng=rng)
+    link.attach(a)
+    link.attach(b)
+    return sim, a, b, link
+
+
+def tcp_transfer(sim, a, b, payload, window=65_535, until=600.0, slow_start=True):
+    """Run a one-way TCP transfer; returns (ok, finish_time)."""
+    results = {}
+
+    def srv(sim):
+        lst = TcpListener(b.ip, 2100)
+        conn = yield lst.accept()
+        got = bytearray()
+        while True:
+            chunk = yield conn.recv()
+            if chunk is None:
+                break
+            got.extend(chunk)
+        results["ok"] = bytes(got) == payload
+        results["t"] = sim.now
+
+    def cli(sim):
+        conn = TcpConnection(a.ip, 41000, 2, 2100, window=window, slow_start=slow_start)
+        yield conn.connect()
+        conn.send(payload)
+        conn.close()
+        yield conn.wait_closed()
+
+    sim.process(srv(sim))
+    sim.process(cli(sim))
+    sim.run(until=until)
+    return results.get("ok", False), results.get("t", float("inf"))
+
+
+class TestTcp:
+    def test_handshake_takes_one_rtt(self):
+        sim, a, b, _ = fresh()
+        results = {}
+
+        def srv(sim):
+            lst = TcpListener(b.ip, 80)
+            yield lst.accept()
+
+        def cli(sim):
+            conn = TcpConnection(a.ip, 41000, 2, 80)
+            yield conn.connect()
+            results["t"] = sim.now
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run(until=10)
+        assert 0.5 < results["t"] < 0.55
+
+    def test_bulk_transfer_integrity(self):
+        sim, a, b, _ = fresh()
+        payload = bytes(range(256)) * 400  # 100 kB
+        ok, _ = tcp_transfer(sim, a, b, payload)
+        assert ok
+
+    def test_window_limits_throughput(self):
+        """Steady-state throughput ~ window/RTT (slow start disabled to
+        isolate the RFC 2488 window effect)."""
+        payload = bytes(1 << 17)  # 128 kB
+        sim1, a1, b1, _ = fresh(rate=1e7)
+        ok1, t1 = tcp_transfer(sim1, a1, b1, payload, window=16_384, slow_start=False)
+        sim2, a2, b2, _ = fresh(rate=1e7)
+        ok2, t2 = tcp_transfer(sim2, a2, b2, payload, window=65_536, slow_start=False)
+        assert ok1 and ok2
+        assert t2 < t1
+        assert t1 / t2 > 2.0  # at least 2x faster with 4x window
+
+    def test_recovers_from_loss(self):
+        sim, a, b, link = fresh(ber=3e-6, seed=3)
+        payload = bytes(range(256)) * 100  # 25 kB
+        ok, _ = tcp_transfer(sim, a, b, payload)
+        assert ok
+        assert link.stats["dropped"] > 0  # the channel actually lost frames
+
+    def test_slow_start_grows_cwnd(self):
+        sim, a, b, _ = fresh()
+        conn = TcpConnection(a.ip, 41000, 2, 2100, window=65_535, slow_start=True)
+        assert conn.cwnd == conn.MSS
+
+        def srv(sim):
+            lst = TcpListener(b.ip, 2100)
+            c = yield lst.accept()
+            while True:
+                chunk = yield c.recv()
+                if chunk is None:
+                    break
+
+        def cli(sim):
+            yield conn.connect()
+            conn.send(bytes(50_000))
+            conn.close()
+            yield conn.wait_closed()
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run(until=120)
+        assert conn.cwnd > conn.MSS
+
+    def test_send_after_close_rejected(self):
+        sim, a, b, _ = fresh()
+        conn = TcpConnection(a.ip, 41000, 2, 2100)
+        conn.state = "ESTABLISHED"  # bypass handshake for the check
+        conn.close()
+        with pytest.raises(OSError):
+            conn.send(b"late")
+
+    def test_window_validation(self):
+        sim, a, _, _ = fresh()
+        with pytest.raises(ValueError):
+            TcpConnection(a.ip, 41000, 2, 2100, window=100)
+
+    def test_duplicate_listener_rejected(self):
+        sim, a, _, _ = fresh()
+        TcpListener(a.ip, 80)
+        with pytest.raises(OSError):
+            TcpListener(a.ip, 80)
+
+
+class TestTftp:
+    def test_read_roundtrip(self):
+        sim, a, b, _ = fresh()
+        data = bytes(range(256)) * 8  # 2048 bytes = exactly 4 blocks
+        TftpServer(b.ip, {"f.bit": data})
+        results = {}
+
+        def cli(sim):
+            c = TftpClient(a.ip, 2)
+            results["data"] = yield from c.read("f.bit")
+
+        sim.process(cli(sim))
+        sim.run(until=300)
+        assert results["data"] == data
+
+    def test_write_roundtrip(self):
+        sim, a, b, _ = fresh()
+        store = {}
+        TftpServer(b.ip, store)
+        data = bytes(1000)
+        done = {}
+
+        def cli(sim):
+            c = TftpClient(a.ip, 2)
+            yield from c.write("up.bit", data)
+            done["ok"] = True
+
+        sim.process(cli(sim))
+        sim.run(until=300)
+        assert done.get("ok")
+        assert store["up.bit"] == data
+
+    def test_block_multiple_size_terminates(self):
+        """A file of exactly N*512 bytes needs a trailing empty DATA."""
+        sim, a, b, _ = fresh()
+        data = bytes(1024)
+        TftpServer(b.ip, {"f": data})
+        results = {}
+
+        def cli(sim):
+            c = TftpClient(a.ip, 2)
+            results["data"] = yield from c.read("f")
+
+        sim.process(cli(sim))
+        sim.run(until=300)
+        assert results["data"] == data
+
+    def test_missing_file_errors(self):
+        sim, a, b, _ = fresh()
+        TftpServer(b.ip, {})
+        caught = {}
+
+        def cli(sim):
+            c = TftpClient(a.ip, 2)
+            try:
+                yield from c.read("nope")
+            except TftpError as exc:
+                caught["err"] = str(exc)
+
+        sim.process(cli(sim))
+        sim.run(until=300)
+        assert "err" in caught
+
+    def test_stop_and_wait_pace_is_one_block_per_rtt(self):
+        """The paper's §3.3 complaint: TFTP transfers 512 B per RTT."""
+        sim, a, b, _ = fresh(delay=0.25, rate=1e8)  # rate not the bottleneck
+        nblocks = 8
+        data = bytes(nblocks * 512 - 10)
+        TftpServer(b.ip, {"f": data})
+        results = {}
+
+        def cli(sim):
+            c = TftpClient(a.ip, 2)
+            results["data"] = yield from c.read("f")
+            results["t"] = sim.now
+
+        sim.process(cli(sim))
+        sim.run(until=300)
+        assert results["data"] == data
+        # RRQ + 8 data/ack exchanges, each ~one 0.5 s RTT
+        assert 0.5 * nblocks < results["t"] < 0.5 * (nblocks + 3)
+
+    def test_survives_loss(self):
+        sim, a, b, link = fresh(ber=1e-5, seed=7)
+        data = bytes(range(256)) * 6
+        TftpServer(b.ip, {"f": data})
+        results = {}
+
+        def cli(sim):
+            c = TftpClient(a.ip, 2, timeout=1.5)
+            results["data"] = yield from c.read("f")
+
+        sim.process(cli(sim))
+        sim.run(until=600)
+        assert results.get("data") == data
+
+
+class TestFtp:
+    def test_put_get_roundtrip(self):
+        sim, a, b, _ = fresh()
+        store = {}
+        FtpServer(b.ip, store)
+        payload = bytes(range(256)) * 300
+        results = {}
+
+        def cli(sim):
+            c = FtpClient(a.ip, 2)
+            yield from c.put("cfg.bit", payload)
+            results["stored"] = store["cfg.bit"] == payload
+            got = yield from c.get("cfg.bit")
+            results["got"] = got == payload
+
+        sim.process(cli(sim))
+        sim.run(until=600)
+        assert results.get("stored") and results.get("got")
+
+    def test_get_missing_errors(self):
+        sim, a, b, _ = fresh()
+        FtpServer(b.ip, {})
+        caught = {}
+
+        def cli(sim):
+            c = FtpClient(a.ip, 2)
+            try:
+                yield from c.get("nope")
+            except FtpError:
+                caught["err"] = True
+
+        sim.process(cli(sim))
+        sim.run(until=120)
+        assert caught.get("err")
+
+    def test_ftp_beats_tftp_on_large_files(self):
+        """The paper's §3.3 conclusion: use FTP for large transfers."""
+        payload = bytes(64 * 1024)
+
+        sim1, a1, b1, _ = fresh(rate=1e6)
+        TftpServer(b1.ip, {"f": payload})
+        t_tftp = {}
+
+        def tftp_cli(sim):
+            c = TftpClient(a1.ip, 2)
+            yield from c.read("f")
+            t_tftp["t"] = sim.now
+
+        sim1.process(tftp_cli(sim1))
+        sim1.run(until=3600)
+
+        sim2, a2, b2, _ = fresh(rate=1e6)
+        FtpServer(b2.ip, {"f": payload})
+        t_ftp = {}
+
+        def ftp_cli(sim):
+            c = FtpClient(a2.ip, 2)
+            yield from c.get("f")
+            t_ftp["t"] = sim.now
+
+        sim2.process(ftp_cli(sim2))
+        sim2.run(until=3600)
+
+        assert t_ftp["t"] < t_tftp["t"] / 5  # windowed is >5x faster
+
+
+class TestScpsFp:
+    def test_clean_transfer_single_round(self):
+        sim, a, b, _ = fresh()
+        store = {}
+        ScpsFpReceiver(b.ip, files=store)
+        payload = bytes(range(256)) * 256  # 64 kB
+        results = {}
+
+        def cli(sim):
+            s = ScpsFpSender(a.ip, 2, rate_bps=1e6)
+            results["rounds"] = yield from s.put("f", payload)
+            results["t"] = sim.now
+
+        sim.process(cli(sim))
+        sim.run(until=600)
+        assert store.get("f") == payload
+        assert results["rounds"] == 0
+
+    def test_snack_repairs_losses(self):
+        sim, a, b, link = fresh(ber=2e-6, seed=5)
+        store = {}
+        rx = ScpsFpReceiver(b.ip, files=store)
+        payload = bytes(range(256)) * 512  # 128 kB
+        results = {}
+
+        def cli(sim):
+            s = ScpsFpSender(a.ip, 2, rate_bps=1e6)
+            results["rounds"] = yield from s.put("f", payload)
+
+        sim.process(cli(sim))
+        sim.run(until=600)
+        assert store.get("f") == payload
+        assert link.stats["dropped"] > 0
+        assert results["rounds"] >= 1  # at least one SNACK repair round
+
+    def test_faster_than_ftp_at_high_bandwidth_delay(self):
+        """Open-loop streaming avoids window stalls on a fat long pipe."""
+        payload = bytes(256 * 1024)
+
+        sim1, a1, b1, _ = fresh(rate=1e7)
+        t_ftp = {}
+        FtpServer(b1.ip, {})
+
+        def ftp_cli(sim):
+            c = FtpClient(a1.ip, 2, window=65_535)
+            yield from c.put("f", payload)
+            t_ftp["t"] = sim.now
+
+        sim1.process(ftp_cli(sim1))
+        sim1.run(until=3600)
+
+        sim2, a2, b2, _ = fresh(rate=1e7)
+        store = {}
+        ScpsFpReceiver(b2.ip, files=store)
+        t_scps = {}
+
+        def scps_cli(sim):
+            s = ScpsFpSender(a2.ip, 2, rate_bps=1e7)
+            yield from s.put("f", payload)
+            t_scps["t"] = sim.now
+
+        sim2.process(scps_cli(sim2))
+        sim2.run(until=3600)
+        assert store.get("f") == payload
+        assert t_scps["t"] < t_ftp["t"]
+
+    def test_rate_validation(self):
+        sim, a, _, _ = fresh()
+        with pytest.raises(ValueError):
+            ScpsFpSender(a.ip, 2, rate_bps=0)

@@ -1,0 +1,103 @@
+"""Tests for the Resource primitive (shared config-port modeling)."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, SimulatorError
+
+
+class TestResource:
+    def test_immediate_grant_when_free(self):
+        sim = Simulator()
+        res = Resource(sim)
+        log = []
+
+        def proc(sim):
+            yield res.acquire()
+            log.append(sim.now)
+            res.release()
+
+        sim.process(proc(sim))
+        sim.run()
+        assert log == [0.0]
+
+    def test_serializes_contenders_fifo(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(sim, tag, hold):
+            yield res.acquire()
+            order.append((tag, sim.now))
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.process(user(sim, "a", 5.0))
+        sim.process(user(sim, "b", 3.0))
+        sim.process(user(sim, "c", 1.0))
+        sim.run()
+        assert order == [("a", 0.0), ("b", 5.0), ("c", 8.0)]
+
+    def test_capacity_allows_parallel_holders(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        starts = []
+
+        def user(sim, tag):
+            yield res.acquire()
+            starts.append((tag, sim.now))
+            yield sim.timeout(10.0)
+            res.release()
+
+        for tag in ("a", "b", "c"):
+            sim.process(user(sim, tag))
+        sim.run()
+        assert starts == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+    def test_queued_count(self):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def holder(sim):
+            yield res.acquire()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def waiter(sim):
+            yield res.acquire()
+            res.release()
+
+        sim.process(holder(sim))
+        sim.process(waiter(sim))
+        sim.run(until=5.0)
+        assert res.queued == 1
+        sim.run()
+        assert res.queued == 0
+
+    def test_release_without_hold_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulatorError):
+            res.release()
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_shared_config_port_scenario(self):
+        """§4.4: several FPGAs behind one configuration port -- reloads
+        serialize, and the total time is the sum of the load times."""
+        sim = Simulator()
+        port = Resource(sim, capacity=1)
+        done = []
+
+        def reload(sim, name, load_time):
+            yield port.acquire()
+            yield sim.timeout(load_time)
+            port.release()
+            done.append((name, sim.now))
+
+        for k in range(3):
+            sim.process(reload(sim, f"fpga{k}", 2.0))
+        sim.run()
+        assert [t for _n, t in done] == [2.0, 4.0, 6.0]

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-verbose examples fast-test all
+.PHONY: install test bench bench-verbose examples fast-test test-obs all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -12,6 +12,9 @@ test:
 
 fast-test:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-obs:  ## observability layer: metrics, tracing, golden traces, fault injection
+	$(PYTHON) -m pytest tests/obs/ tests/sim/test_kernel_properties.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -6,9 +6,13 @@ rows so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
 experiment log, and assert the qualitative *shape* the paper claims.
 """
 
+import json
+import os
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.net import Link, Node
 from repro.sim import RngRegistry, Simulator
 
@@ -17,6 +21,29 @@ from repro.sim import RngRegistry, Simulator
 def rng_registry():
     """A fresh deterministic RNG registry per benchmark."""
     return RngRegistry(seed=2003)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def metrics_snapshot():
+    """Optionally observe the whole benchmark run (REPRO_OBS=1).
+
+    Off by default so timings stay at seed speed.  When enabled, an
+    observability session wraps the entire benchmark run and the final
+    ``Registry.export()`` is written next to the timings (default
+    ``BENCH_METRICS.json``; override with ``REPRO_OBS_SNAPSHOT``).
+    Diffing two snapshots explains *why* a timing moved -- e.g. a
+    retransmission-count jump behind a transfer-time regression.  See
+    docs/observability.md.
+    """
+    if os.environ.get("REPRO_OBS", "") not in ("1", "true", "yes"):
+        yield None
+        return
+    path = os.environ.get("REPRO_OBS_SNAPSHOT", "BENCH_METRICS.json")
+    with obs.session(tracer=obs.Tracer(capacity=1)) as (reg, _):
+        yield reg
+        payload = {"enabled": True, "metrics": reg.export()}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
 
 
 def geo_pair(delay=0.25, rate=1e6, ber=0.0, rng=None):

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..fpga.bitstream import Bitstream
+from ..obs.probes import probe as _obs_probe
 from .bitstore import BitstreamLibrary
 from .equipment import ReconfigurableEquipment
 from .services import (
@@ -75,6 +76,7 @@ class ReconfigurationManager:
         self.reconfig = reconfig_service or ReconfigurationService(library)
         self.validation = validation_service or ValidationService()
         self.history: list[ReconfigurationReport] = []
+        self._probe = _obs_probe("core.reconfig")
 
     def execute(
         self,
@@ -89,6 +91,12 @@ class ReconfigurationManager:
         configuration and validation (used by tests/benchmarks to model
         an upset during loading).
         """
+        p = self._probe
+        if p is not None:
+            p.count("attempts")
+            p.event(
+                "reconfig.start", equipment=equipment.name, function=function
+            )
         steps: list[StepLog] = []
         prev_design = equipment.loaded_design
         prev_bitstream: Optional[Bitstream] = None
@@ -128,6 +136,23 @@ class ReconfigurationManager:
         if not success:
             rolled_back = self._rollback(equipment, prev_design, prev_bitstream, steps)
             outage += sum(s.duration for s in steps if s.step.startswith("rollback"))
+
+        if p is not None:
+            if success:
+                p.count("success")
+            else:
+                p.count("failures")
+                if rolled_back:
+                    p.count("rollbacks")
+            p.observe("outage_seconds", outage)
+            p.event(
+                "reconfig.done",
+                equipment=equipment.name,
+                function=function,
+                success=success,
+                rolled_back=rolled_back,
+                outage=outage,
+            )
 
         report = ReconfigurationReport(
             equipment=equipment.name,

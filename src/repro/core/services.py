@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..fpga.bitstream import Bitstream
+from ..obs.probes import probe as _obs_probe
 from .bitstore import BitstreamLibrary
 from .equipment import EquipmentError, ReconfigurableEquipment
 
@@ -51,6 +52,9 @@ class ReconfigurationService:
     keep_in_library: bool = True
     log: list[StepLog] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._probe = _obs_probe("core.services", service="reconfiguration")
+
     def execute(
         self,
         equipment: ReconfigurableEquipment,
@@ -64,9 +68,14 @@ class ReconfigurationService:
         to roll back).
         """
         steps: list[StepLog] = []
+        p = self._probe
+        if p is not None:
+            p.count("runs")
         try:
             bitstream = self.library.fetch(function, version)
         except (KeyError, ValueError, IOError) as exc:
+            if p is not None:
+                p.count("errors")
             raise ServiceError(f"library fetch failed: {exc}") from exc
         read_t = 8.0 * len(bitstream.to_bytes()) / self.memory_read_rate
         steps.append(StepLog("fetch-from-memory", read_t, f"{function} v{bitstream.version}"))
@@ -75,6 +84,8 @@ class ReconfigurationService:
         try:
             equipment.load(function, bitstream)
         except EquipmentError as exc:
+            if p is not None:
+                p.count("errors")
             raise ServiceError(str(exc)) from exc
         steps.append(StepLog("configure-fpga", load_t, f"{bitstream.num_bits} bits via config port"))
         steps.append(StepLog("switch-on", 0.01, "power sequencing"))
@@ -100,6 +111,9 @@ class ValidationService:
     crc_check_rate: float = 20e6
     log: list[StepLog] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._probe = _obs_probe("core.services", service="validation")
+
     def execute(
         self, equipment: ReconfigurableEquipment, expected: Bitstream
     ) -> tuple[bool, list[StepLog]]:
@@ -108,12 +122,19 @@ class ValidationService:
         Returns ``(passed, steps)``.
         """
         fpga = equipment.fpga
+        p = self._probe
+        if p is not None:
+            p.count("runs")
         duration = fpga.num_config_bits / self.crc_check_rate
         try:
             live = fpga.config_crc32()
         except Exception as exc:
+            if p is not None:
+                p.count("errors")
             raise ServiceError(f"readback failed: {exc}") from exc
         passed = live == expected.crc32()
+        if p is not None:
+            p.count("validation_pass" if passed else "validation_fail")
         steps = [
             StepLog(
                 "crc-auto-test",

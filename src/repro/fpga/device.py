@@ -29,6 +29,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.probes import probe as _obs_probe
 from .bitstream import Bitstream
 
 __all__ = ["Fpga", "FpgaError", "PowerState"]
@@ -103,6 +104,7 @@ class Fpga:
             "readbacks": 0,
             "upsets_injected": 0,
         }
+        self._probe = _obs_probe("fpga.device", device=name)
 
     # -- geometry ---------------------------------------------------------
     @property
@@ -157,6 +159,9 @@ class Fpga:
         self.loaded_function = bitstream.function
         self.loaded_version = bitstream.version
         self.stats["global_loads"] += 1
+        if self._probe is not None:
+            self._probe.count("global_loads")
+            self._probe.event("fpga.configure", function=bitstream.function, version=bitstream.version)
         self.power = PowerState.OFF
 
     def config_load_seconds(self, bitstream: Bitstream) -> float:
@@ -192,6 +197,8 @@ class Fpga:
         if update_golden:
             self._golden[row0 : row0 + h, col0 : col0 + w] = frames
         self.stats["partial_writes"] += h * w
+        if self._probe is not None:
+            self._probe.count("partial_writes", h * w)
 
     def region_load_seconds(self, height: int, width: int) -> float:
         """Time to push a region image through the configuration port."""
@@ -213,6 +220,8 @@ class Fpga:
             raise FpgaError(f"frame must have {self.bits_per_clb} bits")
         self._config[row, col] = frame
         self.stats["partial_writes"] += 1
+        if self._probe is not None:
+            self._probe.count("partial_writes")
 
     # -- readback -------------------------------------------------------------
     def readback(self, row: int, col: int) -> np.ndarray:
@@ -221,6 +230,8 @@ class Fpga:
             raise FpgaError("device not configured")
         self._check_addr(row, col)
         self.stats["readbacks"] += 1
+        if self._probe is not None:
+            self._probe.count("readbacks")
         return self._config[row, col].copy()
 
     def readback_all(self) -> np.ndarray:
@@ -228,6 +239,8 @@ class Fpga:
         if self._golden is None:
             raise FpgaError("device not configured")
         self.stats["readbacks"] += self.rows * self.cols
+        if self._probe is not None:
+            self._probe.count("readbacks", self.rows * self.cols)
         return self._config.copy()
 
     def golden_frame(self, row: int, col: int) -> np.ndarray:
@@ -256,6 +269,9 @@ class Fpga:
             raise FpgaError("upset index out of range")
         flat[idx] ^= 1
         self.stats["upsets_injected"] += len(idx)
+        if self._probe is not None and len(idx):
+            self._probe.count("upsets_injected", len(idx))
+            self._probe.event("seu.hit", bits=len(idx))
 
     def corrupted_bits(self) -> int:
         """Number of configuration bits differing from the golden image."""
@@ -295,3 +311,5 @@ class Fpga:
             raise FpgaError("device not configured")
         self._config[...] = self._golden
         self.stats["partial_writes"] += self.rows * self.cols
+        if self._probe is not None:
+            self._probe.count("partial_writes", self.rows * self.cols)

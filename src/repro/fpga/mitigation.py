@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.probes import probe as _obs_probe
 from .device import Fpga
 
 __all__ = [
@@ -58,13 +59,19 @@ class TmrProtectedFunction:
             raise ValueError("pe must be a probability")
         if self.replicas != 3:
             raise ValueError("TMR is defined for exactly 3 replicas")
+        self._probe = _obs_probe("fpga.tmr")
 
     def evaluate(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Simulate ``n`` evaluations; returns a bool array (True = output wrong)."""
         if n < 1:
             raise ValueError("n must be >= 1")
         upsets = rng.random((n, 3)) < self.pe
-        return upsets.sum(axis=1) >= 2
+        wrong = upsets.sum(axis=1) >= 2
+        p = self._probe
+        if p is not None:
+            p.count("votes", n)
+            p.count("votes_wrong", int(wrong.sum()))
+        return wrong
 
     def theoretical_error_probability(self) -> float:
         """Exact vote-failure probability 3 pe^2 (1-pe) + pe^3."""
@@ -135,6 +142,9 @@ class ReadbackScrubber:
             raise ValueError("mode must be 'golden' or 'crc'")
         if not self.fpga.supports_partial:
             raise ValueError("readback repair needs partial reconfiguration")
+        self._probe = _obs_probe(
+            "fpga.scrub", device=self.fpga.name, kind="readback"
+        )
 
     def snapshot(self) -> None:
         """Record reference CRCs of the (assumed clean) configuration."""
@@ -160,6 +170,11 @@ class ReadbackScrubber:
                     self.fpga.repair_clb(r, c)
                     fixed += 1
         self.repairs += fixed
+        p = self._probe
+        if p is not None:
+            p.count("scans")
+            p.count("repairs", fixed)
+            p.event("scrub.readback", repaired=fixed)
         return fixed
 
     def reference_memory_bits(self) -> int:
@@ -187,11 +202,18 @@ class BlindScrubber:
     def __post_init__(self) -> None:
         if self.period <= 0:
             raise ValueError("period must be positive")
+        self._probe = _obs_probe(
+            "fpga.scrub", device=self.fpga.name, kind="blind"
+        )
 
     def scrub(self) -> None:
         """One full rewrite from the golden image."""
         self.fpga.rewrite_all_from_golden()
         self.scrubs += 1
+        p = self._probe
+        if p is not None:
+            p.count("scrubs")
+            p.event("scrub.blind")
 
     def expected_residual_upsets(self, upset_rate_per_second: float) -> float:
         """Mean upsets present at a random observation time.

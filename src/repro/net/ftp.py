@@ -90,9 +90,12 @@ class FtpServer:
 class FtpClient:
     """Generator-style client: ``yield from client.put(name, data)``."""
 
-    # Local ports are never reused within a process: a reused port would
-    # alias a finished connection still present in the TCP demux.
-    _port_counter = 46000
+    # Local ports are never reused within a *stack*: a reused port would
+    # alias a finished connection still present in the TCP demux.  The
+    # counter lives on the stack (not the class) so that independent
+    # simulation runs allocate identical port sequences -- a process-global
+    # counter would leak state between runs and break golden-trace
+    # determinism (see tests/obs/test_determinism.py).
 
     def __init__(self, stack: IpStack, server_addr: int, port: int = 21, window: int = 262_144):
         self.stack = stack
@@ -101,10 +104,14 @@ class FtpClient:
         self.port = port
         self.window = window
 
+    def _alloc_port(self) -> int:
+        p = getattr(self.stack, "_ftp_next_port", 46000) + 1
+        self.stack._ftp_next_port = p
+        return p
+
     def _connect(self):
-        FtpClient._port_counter += 1
         conn = TcpConnection(
-            self.stack, FtpClient._port_counter, self.server_addr, self.port,
+            self.stack, self._alloc_port(), self.server_addr, self.port,
             window=self.window,
         )
         yield conn.connect()

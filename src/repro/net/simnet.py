@@ -20,6 +20,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs.probes import probe as _obs_probe
 from ..sim import Simulator
 
 __all__ = ["Link", "Node", "GEO_ONE_WAY_DELAY"]
@@ -69,6 +70,7 @@ class Link:
         # per-direction serialization cursor (when the TX becomes free)
         self._tx_free: dict[int, float] = {0: 0.0, 1: 0.0}
         self.stats = {"frames": 0, "dropped": 0, "bytes": 0}
+        self._probe = _obs_probe("net.link", link=name)
 
     def attach(self, node: "Node") -> None:
         """Connect an endpoint (exactly two per link)."""
@@ -96,12 +98,19 @@ class Link:
         self._tx_free[direction] = done
         self.stats["frames"] += 1
         self.stats["bytes"] += len(frame)
+        p = self._probe
+        if p is not None:
+            p.count("frames")
+            p.count("bytes", len(frame))
 
         if self.ber > 0.0:
             if self.error_mode == "drop":
                 p_ok = (1.0 - self.ber) ** bits
                 if not (self.rng.random() < p_ok):
                     self.stats["dropped"] += 1
+                    if p is not None:
+                        p.count("dropped")
+                        p.event("link.drop", t=now, bytes=len(frame))
                     return
             else:  # flip: deliver with independent bit errors
                 n_err = int(self.rng.binomial(bits, self.ber))
@@ -114,6 +123,9 @@ class Link:
                     self.stats["flipped_bits"] = (
                         self.stats.get("flipped_bits", 0) + n_err
                     )
+                    if p is not None:
+                        p.count("flipped_bits", n_err)
+                        p.event("link.flip", t=now, bits=n_err)
         arrival = done + self.delay
         self.sim.call_at(arrival, lambda: peer._deliver(frame))
 

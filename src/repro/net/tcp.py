@@ -23,6 +23,7 @@ from __future__ import annotations
 import struct
 from typing import Optional
 
+from ..obs.probes import probe as _obs_probe
 from ..sim import Event, Simulator, Store
 from .ip import IpPacket, IpStack, PROTO_TCP
 
@@ -114,6 +115,9 @@ class TcpConnection:
         self._established_ev: Optional[Event] = None
         self._closed_ev: Optional[Event] = None
         self.stats = {"retransmits": 0, "segments_out": 0, "segments_in": 0}
+        self._probe = _obs_probe(
+            "net.tcp", conn=f"{local_port}->{remote_addr}:{remote_port}"
+        )
         _demux_for(stack)[(local_port, remote_addr, remote_port)] = self
 
     # -- public API --------------------------------------------------------
@@ -167,6 +171,10 @@ class TcpConnection:
             self.local_port, self.remote[1], seq, ack, flags, self.window
         )
         self.stats["segments_out"] += 1
+        p = self._probe
+        if p is not None:
+            p.count("segments_out")
+            p.count("bytes_out", len(data))
         self.stack.send(self.remote[0], PROTO_TCP, hdr + data)
 
     def _effective_window(self) -> int:
@@ -219,6 +227,16 @@ class TcpConnection:
         if self.snd_una == self.snd_nxt and self.state in ("ESTABLISHED", "CLOSED"):
             return
         self.stats["retransmits"] += 1
+        p = self._probe
+        if p is not None:
+            p.count("retransmits")
+            p.event(
+                "tcp.retransmit",
+                t=self.sim.now,
+                state=self.state,
+                unacked=self.bytes_unacked,
+                cwnd=self.cwnd,
+            )
         # congestion response (RFC 2488 5.3 behavior)
         if self.slow_start:
             self.ssthresh = max(self.bytes_unacked // 2, 2 * self.MSS)
@@ -237,6 +255,8 @@ class TcpConnection:
     # -- segment arrival ----------------------------------------------------
     def _on_segment(self, seq: int, ack: int, flags: int, window: int, data: bytes) -> None:
         self.stats["segments_in"] += 1
+        if self._probe is not None:
+            self._probe.count("segments_in")
         self.peer_window = max(window, self.MSS)
 
         if self.state == "SYN_SENT":
@@ -245,6 +265,8 @@ class TcpConnection:
                 self.snd_una = ack
                 self.state = "ESTABLISHED"
                 self._emit(self.snd_nxt, self.rcv_nxt, _ACK, b"")
+                if self._probe is not None:
+                    self._probe.event("tcp.established", t=self.sim.now)
                 if self._established_ev and not self._established_ev.triggered:
                     self._established_ev.succeed(self)
                 self._restart_timer()

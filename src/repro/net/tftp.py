@@ -20,6 +20,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, Optional
 
+from ..obs.probes import probe as _obs_probe
 from ..sim import Simulator
 from .ip import IpStack
 from .udp import UdpSocket
@@ -53,6 +54,7 @@ class TftpServer:
         self.files: Dict[str, bytes] = files if files is not None else {}
         self.sock = UdpSocket(stack, port)
         self.transfers = 0
+        self._probe = _obs_probe("net.tftp", role="server")
         self.sim.process(self._serve(), name="tftp-server")
 
     def _serve(self):
@@ -81,14 +83,22 @@ class TftpServer:
                 )
                 return
             payload = self.files[name]
+            p = self._probe
             nblocks = len(payload) // TFTP_BLOCK_SIZE + 1
             for block in range(1, nblocks + 1):
                 chunk = payload[(block - 1) * TFTP_BLOCK_SIZE : block * TFTP_BLOCK_SIZE]
                 pkt = struct.pack(">HH", _OP_DATA, block & 0xFFFF) + chunk
                 for _attempt in range(8):
+                    if p is not None and _attempt:
+                        p.count("retransmits")
                     sock.sendto(pkt, addr, port)
+                    if p is not None:
+                        p.count("blocks_sent")
                     got = yield _recv_or_timeout(self.sim, sock, 2.0)
                     if got is None:
+                        if p is not None:
+                            p.count("timeouts")
+                            p.event("tftp.timeout", t=self.sim.now, block=block)
                         continue
                     data, _src = got
                     if len(data) >= 4:
@@ -96,21 +106,45 @@ class TftpServer:
                         if op == _OP_ACK and acked == block & 0xFFFF:
                             break
                 else:
+                    if p is not None:
+                        p.count("aborts")
                     return  # give up silently (client will error out)
             self.transfers += 1
+            if p is not None:
+                p.count("transfers")
         finally:
             sock.close()
 
     def _recv_file(self, name: str, addr: int, port: int):
         sock = UdpSocket(self.stack)
+        p = self._probe
         try:
             buf = bytearray()
             expected = 1
+            idle = 0
             sock.sendto(struct.pack(">HH", _OP_ACK, 0), addr, port)
             for _ in range(1 << 16):
                 got = yield _recv_or_timeout(self.sim, sock, 4.0)
                 if got is None:
-                    return
+                    # Don't abandon the transfer on a single quiet window:
+                    # the client retries DATA for `retries` * `timeout`
+                    # seconds, so re-ack the last good block to prod it
+                    # and only give up after several consecutive timeouts.
+                    idle += 1
+                    if p is not None:
+                        p.count("timeouts")
+                        p.event("tftp.timeout", t=self.sim.now, block=expected)
+                    if idle >= 8:
+                        if p is not None:
+                            p.count("aborts")
+                        return
+                    sock.sendto(
+                        struct.pack(">HH", _OP_ACK, (expected - 1) & 0xFFFF),
+                        addr,
+                        port,
+                    )
+                    continue
+                idle = 0
                 data, _src = got
                 if len(data) < 4:
                     continue
@@ -123,9 +157,26 @@ class TftpServer:
                     if len(data) - 4 < TFTP_BLOCK_SIZE:
                         self.files[name] = bytes(buf)
                         self.transfers += 1
+                        if p is not None:
+                            p.count("transfers")
+                        # RFC 1350 "dallying": if the final ACK is lost the
+                        # client retransmits the last DATA block -- keep the
+                        # socket alive a few windows re-acking duplicates
+                        # instead of leaving the client talking to a ghost.
+                        for _dally in range(4):
+                            got = yield _recv_or_timeout(self.sim, sock, 4.0)
+                            if got is None:
+                                break
+                            if p is not None:
+                                p.count("duplicate_blocks")
+                            sock.sendto(
+                                struct.pack(">HH", _OP_ACK, block), addr, port
+                            )
                         return
                     expected += 1
                 else:
+                    if p is not None:
+                        p.count("duplicate_blocks")
                     sock.sendto(
                         struct.pack(">HH", _OP_ACK, (expected - 1) & 0xFFFF),
                         addr,
@@ -172,6 +223,7 @@ class TftpClient:
         self.server = (server_addr, server_port)
         self.timeout = timeout
         self.retries = retries
+        self._probe = _obs_probe("net.tftp", role="client")
 
     def read(self, name: str):
         """Generator: RRQ a file; returns its bytes.
@@ -179,16 +231,21 @@ class TftpClient:
         Use as ``data = yield from client.read("f.bit")``.
         """
         sock = UdpSocket(self.stack)
+        p = self._probe
         try:
             buf = bytearray()
             expected = 1
             peer_port: Optional[int] = None
             req = _pack_req(_OP_RRQ, name)
             for _attempt in range(self.retries):
+                if p is not None and _attempt:
+                    p.count("retransmits")
                 sock.sendto(req, *self.server)
                 got = yield _recv_or_timeout(self.sim, sock, self.timeout)
                 if got is not None:
                     break
+                if p is not None:
+                    p.count("timeouts")
             else:
                 raise TftpError(f"RRQ {name!r}: no answer")
             while True:
@@ -206,6 +263,8 @@ class TftpClient:
                             struct.pack(">HH", _OP_ACK, block), addr, peer_port
                         )
                         if len(data) - 4 < TFTP_BLOCK_SIZE:
+                            if p is not None:
+                                p.count("transfers")
                             return bytes(buf)
                         expected += 1
                     else:
@@ -219,6 +278,9 @@ class TftpClient:
                     got = yield _recv_or_timeout(self.sim, sock, self.timeout)
                     if got is not None:
                         break
+                    if p is not None:
+                        p.count("timeouts")
+                        p.event("tftp.timeout", t=self.sim.now, block=expected)
                     # timeout: re-ack last received block to prod the server
                     sock.sendto(
                         struct.pack(">HH", _OP_ACK, (expected - 1) & 0xFFFF),
@@ -236,13 +298,18 @@ class TftpClient:
         Use as ``yield from client.write("f.bit", data)``.
         """
         sock = UdpSocket(self.stack)
+        p = self._probe
         try:
             req = _pack_req(_OP_WRQ, name)
             peer: Optional[tuple[int, int]] = None
             for _attempt in range(self.retries):
+                if p is not None and _attempt:
+                    p.count("retransmits")
                 sock.sendto(req, *self.server)
                 got = yield _recv_or_timeout(self.sim, sock, self.timeout)
                 if got is None:
+                    if p is not None:
+                        p.count("timeouts")
                     continue
                 data, (addr, port) = got
                 if len(data) >= 4:
@@ -259,9 +326,16 @@ class TftpClient:
                 chunk = payload[(block - 1) * TFTP_BLOCK_SIZE : block * TFTP_BLOCK_SIZE]
                 pkt = struct.pack(">HH", _OP_DATA, block & 0xFFFF) + chunk
                 for _attempt in range(self.retries):
+                    if p is not None and _attempt:
+                        p.count("retransmits")
                     sock.sendto(pkt, *peer)
+                    if p is not None:
+                        p.count("blocks_sent")
                     got = yield _recv_or_timeout(self.sim, sock, self.timeout)
                     if got is None:
+                        if p is not None:
+                            p.count("timeouts")
+                            p.event("tftp.timeout", t=self.sim.now, block=block)
                         continue
                     data, _src = got
                     if len(data) >= 4:
@@ -272,5 +346,7 @@ class TftpClient:
                             raise TftpError(f"server error: {data[4:]!r}")
                 else:
                     raise TftpError(f"write {name!r}: stalled at block {block}")
+            if p is not None:
+                p.count("transfers")
         finally:
             sock.close()

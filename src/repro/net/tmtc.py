@@ -28,6 +28,7 @@ import binascii
 import struct
 from typing import Callable, Dict, Optional
 
+from ..obs.probes import probe as _obs_probe
 from ..sim import Simulator
 from .simnet import Node
 
@@ -117,6 +118,15 @@ class _AdSender:
     def _timeout(self, gen: int) -> None:
         if gen != self._timer_gen or self.na == self.ns:
             return
+        p = self.layer._probe
+        if p is not None:
+            p.count("retransmissions", self.ns - self.na)
+            p.event(
+                "tmtc.retransmit",
+                t=self.layer.sim.now,
+                vc=self.vc,
+                outstanding=self.ns - self.na,
+            )
         # go-back-N: retransmit everything outstanding
         for seq in range(self.na, self.ns):
             flags, data = self.sent[seq]
@@ -155,6 +165,9 @@ class _FarmReceiver:
             accepted = frame.data
         else:
             self.discards += 1
+            p = self.layer._probe
+            if p is not None:
+                p.count("farm_discards")
         clcw = TcFrame(self.vc, _T_CLCW | _F_MODE_AD, self.expected & 0xFFFF, b"")
         self.layer._emit(clcw)
         return accepted
@@ -193,6 +206,7 @@ class TmtcLayer:
         self._reassembly: Dict[int, bytearray] = {}
         self._handlers: Dict[int, Callable[[bytes], None]] = {}
         self.stats = {"frames_out": 0, "frames_in": 0, "bad_frames": 0}
+        self._probe = _obs_probe("net.tmtc", node=node.name)
         node.frame_tap = self._on_raw  # intercept all link deliveries
         self._ip_vc: Optional[int] = None
 
@@ -267,6 +281,8 @@ class TmtcLayer:
 
     def _emit(self, frame: TcFrame) -> None:
         self.stats["frames_out"] += 1
+        if self._probe is not None:
+            self._probe.count("frames_out")
         raw = frame.encode()
         if self.cltu:
             import numpy as _np
@@ -290,13 +306,19 @@ class TmtcLayer:
                 self.cltu_corrections += corrected
             except BchError:
                 self.stats["bad_frames"] += 1
+                if self._probe is not None:
+                    self._probe.count("bad_frames")
                 return
         try:
             frame = TcFrame.decode(raw)
         except ValueError:
             self.stats["bad_frames"] += 1
+            if self._probe is not None:
+                self._probe.count("bad_frames")
             return
         self.stats["frames_in"] += 1
+        if self._probe is not None:
+            self._probe.count("frames_in")
         if frame.flags & _TYPE_MASK:  # CLCW report
             sender = self._senders.get(frame.vc)
             if sender is not None:

@@ -25,7 +25,11 @@ class UdpSocket:
     ``recv()`` returns an event yielding ``(payload, (src_addr, src_port))``.
     """
 
-    _next_ephemeral = 49152
+    # First ephemeral port.  The rolling counter is kept *per stack* (see
+    # :meth:`_alloc_ephemeral`) so that independent simulation runs draw
+    # identical port sequences; a class-level counter would bleed state
+    # across runs and break trace determinism.
+    _EPHEMERAL_BASE = 49152
 
     def __init__(self, stack: IpStack, port: Optional[int] = None) -> None:
         self.stack = stack
@@ -45,12 +49,13 @@ class UdpSocket:
     @staticmethod
     def _alloc_ephemeral(stack: IpStack) -> int:
         demux = _demux_for(stack)
-        p = UdpSocket._next_ephemeral
+        p = getattr(stack, "_udp_next_ephemeral", UdpSocket._EPHEMERAL_BASE)
         while p in demux:
             p += 1
-        UdpSocket._next_ephemeral = p + 1
-        if UdpSocket._next_ephemeral > 65000:
-            UdpSocket._next_ephemeral = 49152
+        nxt = p + 1
+        if nxt > 65000:
+            nxt = UdpSocket._EPHEMERAL_BASE
+        stack._udp_next_ephemeral = nxt
         return p
 
     def sendto(self, payload: bytes, addr: int, port: int) -> None:

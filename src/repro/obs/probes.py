@@ -1,0 +1,207 @@
+"""Lightweight instrumentation hooks wiring subsystems to metrics/trace.
+
+Instrumented code never talks to a :class:`~repro.obs.metrics.Registry`
+directly; at construction time it asks for a :func:`probe`:
+
+    self._probe = probe("net.link", link=name)
+
+While observability is **disabled** (the default) :func:`probe` returns
+``None``, so the per-operation cost in hot paths is one attribute load
+plus a ``None`` check:
+
+    p = self._probe
+    if p is not None:
+        p.count("frames")
+
+While **enabled** (:func:`enable` / :func:`session`), a :class:`Probe`
+binds cached metric series from the active registry (series names are
+``<subsystem>.<name>``, labeled with the probe's labels) and forwards
+trace events to the active tracer.
+
+Enable/disable is process-wide and takes effect for objects constructed
+*afterwards*; tests use the :func:`session` context manager to get an
+isolated registry + tracer and restore the previous state on exit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+from .metrics import NULL_REGISTRY, Registry
+from .trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Probe",
+    "disable",
+    "enable",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "probe",
+    "session",
+]
+
+
+class _State:
+    __slots__ = ("registry", "tracer", "enabled")
+
+    def __init__(self) -> None:
+        self.registry = NULL_REGISTRY
+        self.tracer = NULL_TRACER
+        self.enabled = False
+
+
+_STATE = _State()
+
+
+def enable(
+    registry: Optional[Registry] = None, tracer: Optional[Tracer] = None
+) -> tuple:
+    """Switch observability on; returns ``(registry, tracer)``.
+
+    Fresh instances are created when not supplied.  Only objects
+    constructed *after* this call pick up probes.
+    """
+    _STATE.registry = registry if registry is not None else Registry()
+    _STATE.tracer = tracer if tracer is not None else Tracer()
+    _STATE.enabled = True
+    return _STATE.registry, _STATE.tracer
+
+
+def disable() -> None:
+    """Switch observability off (new objects get no-op probes)."""
+    _STATE.registry = NULL_REGISTRY
+    _STATE.tracer = NULL_TRACER
+    _STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    """True while a real registry/tracer are active."""
+    return _STATE.enabled
+
+
+def get_registry():
+    """The active registry (a silent no-op registry while disabled)."""
+    return _STATE.registry
+
+
+def get_tracer():
+    """The active tracer (a silent no-op tracer while disabled)."""
+    return _STATE.tracer
+
+
+@contextmanager
+def session(
+    registry: Optional[Registry] = None, tracer: Optional[Tracer] = None
+):
+    """Context manager: enable an isolated observability session.
+
+    Yields ``(registry, tracer)`` and restores the previous state on
+    exit -- the test-suite idiom::
+
+        with obs.session() as (reg, tr):
+            ... build simulator & run ...
+        assert reg.value("net.tcp.retransmits", ...) > 0
+    """
+    prev = (_STATE.registry, _STATE.tracer, _STATE.enabled)
+    try:
+        yield enable(registry, tracer)
+    finally:
+        _STATE.registry, _STATE.tracer, _STATE.enabled = prev
+
+
+class Probe:
+    """Bound instrumentation point: cached series + trace forwarding.
+
+    One probe per instrumented object; all series it creates share the
+    ``prefix`` and the fixed ``labels`` given at construction.
+    """
+
+    __slots__ = ("prefix", "labels", "_registry", "_tracer", "_cache")
+
+    def __init__(
+        self,
+        prefix: str,
+        labels: Dict[str, Any],
+        registry,
+        tracer,
+    ) -> None:
+        self.prefix = prefix
+        self.labels = {k: str(v) for k, v in labels.items()}
+        self._registry = registry
+        self._tracer = tracer
+        self._cache: Dict[str, Any] = {}
+
+    # -- series accessors (cached) ----------------------------------------
+    def _label_names(self):
+        return tuple(sorted(self.labels))
+
+    def counter(self, name: str):
+        s = self._cache.get(name)
+        if s is None:
+            metric = self._registry.counter(
+                f"{self.prefix}.{name}", self._label_names()
+            )
+            s = metric.labels(**self.labels)
+            self._cache[name] = s
+        return s
+
+    def gauge_series(self, name: str):
+        key = f"g:{name}"
+        s = self._cache.get(key)
+        if s is None:
+            metric = self._registry.gauge(
+                f"{self.prefix}.{name}", self._label_names()
+            )
+            s = metric.labels(**self.labels)
+            self._cache[key] = s
+        return s
+
+    def histogram_series(self, name: str, buckets=None):
+        key = f"h:{name}"
+        s = self._cache.get(key)
+        if s is None:
+            kwargs = {} if buckets is None else {"buckets": buckets}
+            metric = self._registry.histogram(
+                f"{self.prefix}.{name}", self._label_names(), **kwargs
+            )
+            s = metric.labels(**self.labels)
+            self._cache[key] = s
+        return s
+
+    # -- convenience verbs -------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauge_series(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram_series(name).observe(value)
+
+    def event(self, kind: str, t: Optional[float] = None, **fields: Any) -> None:
+        """Emit a trace event (probe labels are merged into the fields)."""
+        if self.labels:
+            merged = dict(self.labels)
+            merged.update(fields)
+            fields = merged
+        self._tracer.emit(kind, t=t, **fields)
+
+    def span(self, kind: str, t: Optional[float] = None, **fields: Any) -> Span:
+        if self.labels:
+            merged = dict(self.labels)
+            merged.update(fields)
+            fields = merged
+        return self._tracer.span(kind, t=t, **fields)
+
+
+def probe(subsystem: str, **labels: Any) -> Optional[Probe]:
+    """A probe bound to the active session, or ``None`` while disabled.
+
+    Call once at object construction and keep the result; hot paths then
+    pay only a ``None`` check when observability is off.
+    """
+    if not _STATE.enabled:
+        return None
+    return Probe(subsystem, labels, _STATE.registry, _STATE.tracer)

@@ -1,0 +1,220 @@
+"""Deterministic ring-buffer event tracer with golden-trace hashing.
+
+A :class:`Tracer` records structured events keyed on **simulated** time
+into a bounded ring buffer.  Because the simulation kernel is
+deterministic (heap ordered on ``(time, seq)``) and every instrumented
+field is derived from simulation state -- never wall clock, never object
+identity -- the trace of a run is a pure function of its inputs and
+seeds.  :meth:`Tracer.canonical` therefore serializes to **byte-stable**
+output and :meth:`Tracer.hash` doubles as a regression oracle: two runs
+with the same seed must hash identically, and a behaviour change shows
+up as a hash change long before anyone eyeballs a log.
+
+Span support (:meth:`Tracer.span`) brackets an operation with
+``<kind>.begin`` / ``<kind>.end`` events and records the simulated
+duration on the end event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["NULL_TRACER", "Span", "TraceEvent", "Tracer"]
+
+
+class TraceEvent:
+    """One structured trace record.
+
+    ``seq`` is the global emission index (monotonic even across ring
+    evictions), ``t`` the simulated time, ``kind`` a dotted event name
+    and ``fields`` a flat dict of JSON-able values.
+    """
+
+    __slots__ = ("seq", "t", "kind", "fields")
+
+    def __init__(self, seq: int, t: float, kind: str, fields: Dict[str, Any]):
+        self.seq = seq
+        self.t = t
+        self.kind = kind
+        self.fields = fields
+
+    def canonical_line(self) -> str:
+        """Byte-stable single-line rendering (sorted keys, repr'd floats)."""
+        payload = json.dumps(
+            self.fields, sort_keys=True, separators=(",", ":"), default=str
+        )
+        return f"{self.seq} {self.t!r} {self.kind} {payload}"
+
+    def __repr__(self) -> str:  # debugging aid, not canonical
+        return f"TraceEvent({self.canonical_line()})"
+
+
+class Span:
+    """An open operation bracket; call :meth:`end` (or use ``with``)."""
+
+    __slots__ = ("_tracer", "kind", "t0", "_closed")
+
+    def __init__(self, tracer: "Tracer", kind: str, t0: float):
+        self._tracer = tracer
+        self.kind = kind
+        self.t0 = t0
+        self._closed = False
+
+    def end(self, t: Optional[float] = None, **fields: Any) -> None:
+        """Emit the ``.end`` event carrying the simulated duration."""
+        if self._closed:
+            return
+        self._closed = True
+        t = self._tracer._time(t)
+        self._tracer.emit(f"{self.kind}.end", t=t, dur=t - self.t0, **fields)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end(ok=exc_type is None)
+
+
+class Tracer:
+    """Bounded, deterministic structured-event recorder.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size.  Older events are evicted (and counted in
+        :attr:`dropped`) once the buffer is full.
+    clock:
+        Optional zero-arg callable returning the current simulated time,
+        used when ``emit``/``span`` are called without an explicit
+        ``t``.  Defaults to a constant ``0.0`` (untimed subsystems such
+        as :mod:`repro.core.reconfig` trace at t=0 and rely on ``seq``
+        for ordering).
+    """
+
+    def __init__(self, capacity: int = 8192, clock: Optional[Callable[[], float]] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.clock = clock
+        self._buf: List[Optional[TraceEvent]] = [None] * capacity
+        self._head = 0  # next write slot
+        self._len = 0
+        self.total = 0  # events ever emitted
+        self.dropped = 0  # events evicted from the ring
+
+    # -- recording ---------------------------------------------------------
+    def _time(self, t: Optional[float]) -> float:
+        if t is not None:
+            return float(t)
+        return float(self.clock()) if self.clock is not None else 0.0
+
+    def set_clock(self, clock: Optional[Callable[[], float]]) -> None:
+        """(Re)bind the default time source, e.g. ``sim`` now-getter."""
+        self.clock = clock
+
+    def emit(self, kind: str, t: Optional[float] = None, **fields: Any) -> TraceEvent:
+        """Record one event; returns it (mostly for tests)."""
+        ev = TraceEvent(self.total, self._time(t), kind, fields)
+        if self._len == self.capacity:
+            self.dropped += 1
+        else:
+            self._len += 1
+        self._buf[self._head] = ev
+        self._head = (self._head + 1) % self.capacity
+        self.total += 1
+        return ev
+
+    def span(self, kind: str, t: Optional[float] = None, **fields: Any) -> Span:
+        """Emit ``<kind>.begin`` and return an open :class:`Span`."""
+        t = self._time(t)
+        self.emit(f"{kind}.begin", t=t, **fields)
+        return Span(self, kind, t)
+
+    # -- reading -----------------------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def events(self) -> Iterator[TraceEvent]:
+        """Retained events, oldest first."""
+        start = (self._head - self._len) % self.capacity
+        for i in range(self._len):
+            ev = self._buf[(start + i) % self.capacity]
+            assert ev is not None
+            yield ev
+
+    def clear(self) -> None:
+        """Drop everything and restart numbering."""
+        self._buf = [None] * self.capacity
+        self._head = 0
+        self._len = 0
+        self.total = 0
+        self.dropped = 0
+
+    # -- golden-trace oracle -------------------------------------------------
+    def canonical(self) -> bytes:
+        """Byte-stable serialization of the retained trace.
+
+        The header pins the emission totals so that *which* events were
+        evicted participates in the identity, not just the survivors.
+        """
+        lines = [f"# trace total={self.total} dropped={self.dropped} capacity={self.capacity}"]
+        lines.extend(ev.canonical_line() for ev in self.events())
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    def hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical` -- the regression oracle."""
+        return hashlib.sha256(self.canonical()).hexdigest()
+
+
+class _NullTracer:
+    """Tracer stand-in while observability is disabled (all no-ops)."""
+
+    __slots__ = ()
+    total = 0
+    dropped = 0
+    capacity = 0
+
+    def emit(self, kind, t=None, **fields):
+        return None
+
+    def span(self, kind, t=None, **fields):
+        return _NULL_SPAN
+
+    def set_clock(self, clock):
+        pass
+
+    def events(self):
+        return iter(())
+
+    def __len__(self):
+        return 0
+
+    def clear(self):
+        pass
+
+    def canonical(self):
+        return b""
+
+    def hash(self):
+        return ""
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def end(self, t=None, **fields):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Shared no-op tracer used while observability is off.
+NULL_TRACER = _NullTracer()

@@ -29,6 +29,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..obs.probes import probe as _obs_probe
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -218,7 +220,7 @@ class Process(Event):
     ``yield proc`` to join on it.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "name")
+    __slots__ = ("_gen", "_waiting_on", "name", "_t_started")
 
     def __init__(
         self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = ""
@@ -227,6 +229,12 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
+        self._t_started = sim.now
+        p = sim._probe
+        if p is not None:
+            p.count("processes_started")
+            p.gauge_series("processes_alive").inc()
+            p.event("proc.start", t=sim.now, name=self.name)
         # bootstrap: start the generator at time now
         start = Event(sim)
         start.add_callback(self._resume)
@@ -252,6 +260,15 @@ class Process(Event):
         intr.add_callback(self._resume_interrupt)
         intr.succeed(Interrupt(cause))
 
+    def _note_end(self, ok: bool) -> None:
+        """Account process termination on the kernel probe (if any)."""
+        p = self.sim._probe
+        if p is not None:
+            p.count("processes_ended")
+            p.gauge_series("processes_alive").dec()
+            p.observe("process_lifetime", self.sim.now - self._t_started)
+            p.event("proc.end", t=self.sim.now, name=self.name, ok=ok)
+
     # -- driving --------------------------------------------------------
     def _resume_interrupt(self, ev: Event) -> None:
         self._step(ev.value, throw=True)
@@ -272,15 +289,18 @@ class Process(Event):
         except StopIteration as stop:
             if self._state == _PENDING:
                 self.succeed(stop.value)
+                self._note_end(ok=True)
             return
         except Interrupt:
             # process chose not to handle its interrupt: treat as clean exit
             if self._state == _PENDING:
                 self.succeed(None)
+                self._note_end(ok=True)
             return
         except Exception as exc:
             if self._state == _PENDING:
                 self.fail(exc)
+                self._note_end(ok=False)
                 return
             raise
         try:
@@ -289,6 +309,7 @@ class Process(Event):
             self._gen.close()
             if self._state == _PENDING:
                 self.fail(exc)
+                self._note_end(ok=False)
             return
         self._waiting_on = ev
         ev.add_callback(self._resume)
@@ -416,6 +437,9 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self.event_count = 0
+        #: observability hook (None while repro.obs is disabled); also
+        #: read by Process for lifetime accounting.
+        self._probe = _obs_probe("sim.kernel")
 
     @property
     def now(self) -> float:
@@ -454,6 +478,10 @@ class Simulator:
             raise SimulatorError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._heap, (self._now + delay, self._seq, ev))
         self._seq += 1
+        p = self._probe
+        if p is not None:
+            p.count("events_scheduled")
+            p.gauge("queue_depth", len(self._heap))
 
     def step(self) -> bool:
         """Process one event; return False when the heap is empty."""
@@ -462,6 +490,10 @@ class Simulator:
         t, _seq, ev = heapq.heappop(self._heap)
         self._now = t
         self.event_count += 1
+        p = self._probe
+        if p is not None:
+            p.count("events_fired")
+            p.gauge("queue_depth", len(self._heap))
         ev._fire()
         return True
 

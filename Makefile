@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-verbose examples fast-test test-obs all
+.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -15,6 +15,9 @@ fast-test:
 
 test-obs:  ## observability layer: metrics, tracing, golden traces, fault injection
 	$(PYTHON) -m pytest tests/obs/ tests/sim/test_kernel_properties.py
+
+test-robustness:  ## fault-tolerance layer: retry, TC/TM transactions, watchdog, chaos sweeps
+	$(PYTHON) -m pytest tests/robustness/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

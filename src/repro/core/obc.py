@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..robustness.watchdog import SafeModeWatchdog
 from .bitstore import BitstreamLibrary
 from .equipment import ReconfigurableEquipment
 from .reconfig import ReconfigurationManager
@@ -53,6 +54,22 @@ class OnBoardController:
         self.manager = ReconfigurationManager(self.library)
         self.equipments: Dict[str, ReconfigurableEquipment] = {}
         self.tm_log: list[Telemetry] = []
+        #: optional safe-mode watchdog (see :meth:`arm_watchdog`)
+        self.watchdog: Optional[SafeModeWatchdog] = None
+
+    def arm_watchdog(
+        self, golden: Dict[str, str], threshold: int = 3
+    ) -> SafeModeWatchdog:
+        """Arm the safe-mode watchdog with per-equipment golden images.
+
+        After ``threshold`` consecutive failed validations/rollbacks on
+        one equipment, the OBC autonomously loads that equipment's
+        golden function (library copy preferred, registry render as
+        fallback) and latches it into safe mode; the state is reported
+        in ``reconfigure``/``validate``/``status`` telemetry.
+        """
+        self.watchdog = SafeModeWatchdog(self, golden, threshold=threshold)
+        return self.watchdog
 
     def register_equipment(self, eq: ReconfigurableEquipment) -> None:
         if eq.name in self.equipments:
@@ -78,22 +95,37 @@ class OnBoardController:
         self.tm_log.append(tm)
         return tm
 
+    def _watchdog_note(self, eq: ReconfigurableEquipment, success: bool) -> dict:
+        """Feed one validation outcome to the watchdog; telemetry fields."""
+        wd = self.watchdog
+        if wd is None:
+            return {"safe_mode": False}
+        if success:
+            wd.record_success(eq.name)
+        else:
+            wd.record_failure(eq.name)
+        return {
+            "safe_mode": eq.name in wd.safe_mode,
+            "watchdog_state": wd.state_of(eq.name),
+        }
+
     def _tc_reconfigure(self, tc: Telecommand) -> Telemetry:
         eq = self.equipment(tc.args["equipment"])
         report = self.manager.execute(
             eq, tc.args["function"], tc.args.get("version")
         )
-        return Telemetry(
-            tc.tc_id,
-            report.success,
-            {
-                "summary": report.summary(),
-                "crc": report.crc_telemetry,
-                "outage_s": report.outage_seconds,
-                "rolled_back": report.rolled_back,
-                "final_function": report.final_function,
-            },
-        )
+        payload = {
+            "summary": report.summary(),
+            "crc": report.crc_telemetry,
+            "outage_s": report.outage_seconds,
+            "rolled_back": report.rolled_back,
+            "final_function": report.final_function,
+        }
+        payload.update(self._watchdog_note(eq, report.success))
+        # a safe-mode entry may have re-loaded the equipment: report
+        # the personality it actually carries now
+        payload["final_function"] = eq.loaded_design
+        return Telemetry(tc.tc_id, report.success, payload)
 
     def _tc_validate(self, tc: Telecommand) -> Telemetry:
         eq = self.equipment(tc.args["equipment"])
@@ -101,11 +133,9 @@ class OnBoardController:
             return Telemetry(tc.tc_id, False, {"error": "no design loaded"})
         expected = self.library.fetch(eq.loaded_design)
         passed, steps = self.manager.validation.execute(eq, expected)
-        return Telemetry(
-            tc.tc_id,
-            passed,
-            {"crc": eq.fpga.config_crc32(), "detail": steps[-1].detail},
-        )
+        payload = {"crc": eq.fpga.config_crc32(), "detail": steps[-1].detail}
+        payload.update(self._watchdog_note(eq, passed))
+        return Telemetry(tc.tc_id, passed, payload)
 
     def _tc_status(self, tc: Telecommand) -> Telemetry:
         report = {
@@ -120,6 +150,8 @@ class OnBoardController:
             for name, eq in self.equipments.items()
         }
         report["library"] = self.library.catalogue()
+        if self.watchdog is not None:
+            report["watchdog"] = self.watchdog.status()
         return Telemetry(tc.tc_id, True, report)
 
     def _tc_store(self, tc: Telecommand) -> Telemetry:

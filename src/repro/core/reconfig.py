@@ -76,6 +76,10 @@ class ReconfigurationManager:
         self.reconfig = reconfig_service or ReconfigurationService(library)
         self.validation = validation_service or ValidationService()
         self.history: list[ReconfigurationReport] = []
+        #: fault-injection hook applied to *every* execute() when the
+        #: call-site passes none (chaos campaigns model persistent SEU
+        #: environments this way); ``corrupt_hook`` arguments win.
+        self.default_corrupt_hook = None
         self._probe = _obs_probe("core.reconfig")
 
     def execute(
@@ -101,15 +105,24 @@ class ReconfigurationManager:
         prev_design = equipment.loaded_design
         prev_bitstream: Optional[Bitstream] = None
         if prev_design is not None:
-            # the previous image is recoverable from the library or design
+            # the previous image is usually recoverable from the library
+            # (possibly corrupted there -- ValueError/IOError) or, failing
+            # that, re-rendered from the design registry.  When *both*
+            # sources are gone the sequence still proceeds: rollback will
+            # degrade to "rollback-none" instead of crashing the OBC.
             try:
                 prev_bitstream = self.library.fetch(prev_design)
-            except KeyError:
-                prev_bitstream = equipment.registry.get(prev_design).bitstream_for(
-                    equipment.fpga.rows,
-                    equipment.fpga.cols,
-                    equipment.fpga.bits_per_clb,
-                )
+            except (KeyError, ValueError, IOError):
+                try:
+                    prev_bitstream = equipment.registry.get(
+                        prev_design
+                    ).bitstream_for(
+                        equipment.fpga.rows,
+                        equipment.fpga.cols,
+                        equipment.fpga.bits_per_clb,
+                    )
+                except KeyError:
+                    prev_bitstream = None  # unrecoverable previous image
 
         # step 2: switch off (outage starts)
         equipment.unload()
@@ -123,8 +136,9 @@ class ReconfigurationManager:
             bitstream, svc_steps = self.reconfig.execute(equipment, function, version)
             steps.extend(svc_steps)
             outage += sum(s.duration for s in svc_steps)
-            if corrupt_hook is not None:
-                corrupt_hook(equipment.fpga)
+            hook = corrupt_hook if corrupt_hook is not None else self.default_corrupt_hook
+            if hook is not None:
+                hook(equipment.fpga)
             passed, val_steps = self.validation.execute(equipment, bitstream)
             steps.extend(val_steps)
             outage += sum(s.duration for s in val_steps)

@@ -7,6 +7,19 @@ space link, commands the reconfiguration through a telecommand carried
 on UDP, and verifies the CRC telemetry that comes back -- the complete
 §3 scenario, in simulated time.
 
+Since the robustness PR, the campaign is **fault tolerant**:
+
+- telecommands ride the :mod:`repro.robustness.transactions` layer --
+  retransmitted under a :class:`~repro.robustness.RetryPolicy` with
+  growing listen windows instead of blocking forever on a lost TC or
+  TM datagram;
+- uploads are retried under an upload policy
+  (:func:`~repro.robustness.run_with_retry`), so one failed TFTP/FTP/
+  SCPS transfer no longer aborts the campaign;
+- the space side deduplicates telecommands by ``tc_id``
+  (:class:`~repro.robustness.TcDedupCache`): a retransmitted TC whose
+  reply was lost is answered from cache, never re-executed.
+
 :class:`SatelliteGateway` is the space-side counterpart: it terminates
 the upload protocols into the on-board bitstream library and maps the
 telecommand port onto the on-board controller.
@@ -15,7 +28,6 @@ telecommand port onto the on-board controller.
 from __future__ import annotations
 
 import json
-import struct
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -31,12 +43,26 @@ from ..net import (
     TftpServer,
     UdpSocket,
 )
+from ..net.ftp import FtpError
+from ..net.scps import ScpsError
 from ..net.simnet import Node
+from ..net.tftp import TftpError
+from ..obs.probes import probe as _obs_probe
+from ..robustness.policy import RetryPolicy, run_with_retry
+from ..robustness.transactions import TC_PORT, TcDedupCache, TcTransactionClient
 from ..sim import Simulator
 
-__all__ = ["NetworkControlCenter", "SatelliteGateway", "CampaignResult"]
+__all__ = ["NetworkControlCenter", "SatelliteGateway", "CampaignResult", "TC_PORT"]
 
-TC_PORT = 2001
+#: Default retry policy for bitstream uploads (three attempts; the
+#: protocols' own ARQ handles per-block losses, this covers whole-
+#: transfer failures such as a stalled stop-and-wait exchange).
+DEFAULT_UPLOAD_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=5.0, multiplier=2.0, max_delay=60.0, jitter=0.1
+)
+
+#: Exceptions that mark one upload attempt as failed-but-retryable.
+UPLOAD_RETRY_ON = (TftpError, FtpError, ScpsError, OSError)
 
 
 @dataclass
@@ -51,10 +77,28 @@ class CampaignResult:
     rolled_back: bool
     crc: Optional[int]
     telemetry: dict = field(default_factory=dict)
+    #: the on-board watchdog latched this equipment into safe mode
+    safe_mode: bool = False
 
     @property
     def total_seconds(self) -> float:
         return self.upload_seconds + self.command_seconds
+
+
+def _normalize_telemetry(payload: dict) -> dict:
+    """Guarantee the keys downstream consumers index, on every path.
+
+    Historically the ``store``-failure path returned the raw error
+    payload, so ``result.telemetry["crc"]`` / ``["rolled_back"]`` raised
+    ``KeyError`` depending on *which* step failed.  Both result paths
+    now pass through here.
+    """
+    out = dict(payload) if isinstance(payload, dict) else {"error": str(payload)}
+    out.setdefault("crc", None)
+    out.setdefault("rolled_back", False)
+    out.setdefault("safe_mode", False)
+    out.setdefault("final_function", None)
+    return out
 
 
 class SatelliteGateway:
@@ -63,24 +107,66 @@ class SatelliteGateway:
     Uploaded files land in a shared dict and are registered into the
     payload's bitstream library when the ``store`` TC arrives (keeping
     the upload path and the library bookkeeping separable, as §3.2 does).
+
+    The TC server is **idempotent**: replies are cached per ``tc_id``
+    (:class:`~repro.robustness.TcDedupCache`) and a duplicate --
+    i.e. ground-retransmitted -- telecommand is answered from the cache
+    without re-executing, so "lost final ACK" cannot double-execute a
+    reconfiguration.  Dedup hits are counted on the ``ncc.gateway``
+    probe and in :attr:`stats`.
     """
 
-    def __init__(self, node: Node, payload: RegenerativePayload) -> None:
+    def __init__(
+        self,
+        node: Node,
+        payload: RegenerativePayload,
+        uploads: Optional[Dict[str, bytes]] = None,
+        dedup_capacity: int = 256,
+    ) -> None:
         self.node = node
         self.payload = payload
         self.obc: OnBoardController = payload.obc
-        self.uploads: Dict[str, bytes] = {}
+        self.uploads: Dict[str, bytes] = uploads if uploads is not None else {}
         self.tftp = TftpServer(node.ip, self.uploads)
         self.ftp = FtpServer(node.ip, self.uploads)
         self.scps = ScpsFpReceiver(node.ip, files=self.uploads)
+        self.dedup = TcDedupCache(capacity=dedup_capacity)
+        self.stats = {
+            "tc_received": 0,
+            "executed": 0,
+            "dedup_hits": 0,
+            "rejected": 0,
+        }
+        self._probe = _obs_probe("ncc.gateway", node=node.name)
         self._tc_sock = UdpSocket(node.ip, TC_PORT)
         node.sim.process(self._tc_server(), name="sat-tc-server")
 
     def _tc_server(self):
+        p = self._probe
         while True:
             data, (addr, port) = yield self._tc_sock.recv()
+            self.stats["tc_received"] += 1
+            if p is not None:
+                p.count("tc_received")
+            msg = None
+            tc_id = -1
             try:
                 msg = json.loads(data.decode())
+                tc_id = msg["tc_id"] if isinstance(msg, dict) else -1
+                # -- idempotent execution: duplicates answered from cache
+                if isinstance(tc_id, int) and tc_id > 0:
+                    cached = self.dedup.get(tc_id)
+                    if cached is not None:
+                        self.stats["dedup_hits"] += 1
+                        if p is not None:
+                            p.count("dedup_hits")
+                            p.event(
+                                "gateway.dedup",
+                                t=self.node.sim.now,
+                                tc_id=tc_id,
+                            )
+                        self._tc_sock.sendto(cached, addr, port)
+                        continue
                 tc = Telecommand(msg["tc_id"], msg["action"], msg.get("args", {}))
                 if tc.action == "store":
                     # resolve the uploaded file from the gateway store
@@ -98,12 +184,21 @@ class SatelliteGateway:
                         },
                     )
                 tm = self.obc.execute(tc)
+                self.stats["executed"] += 1
+                if p is not None:
+                    p.count("executed")
                 reply = {"tc_id": tm.tc_id, "success": tm.success,
                          "payload": _jsonable(tm.payload)}
             except Exception as exc:
-                reply = {"tc_id": msg.get("tc_id", -1) if isinstance(msg, dict) else -1,
+                self.stats["rejected"] += 1
+                if p is not None:
+                    p.count("rejected")
+                reply = {"tc_id": tc_id if isinstance(tc_id, int) else -1,
                          "success": False, "payload": {"error": str(exc)}}
-            self._tc_sock.sendto(json.dumps(reply).encode(), addr, port)
+            encoded = json.dumps(reply).encode()
+            if isinstance(tc_id, int) and tc_id > 0:
+                self.dedup.put(tc_id, encoded)
+            self._tc_sock.sendto(encoded, addr, port)
 
 
 def _jsonable(obj):
@@ -120,7 +215,15 @@ def _jsonable(obj):
 
 
 class NetworkControlCenter:
-    """Ground-side campaign orchestration."""
+    """Ground-side campaign orchestration.
+
+    ``tc_policy`` / ``upload_policy`` bound the retransmission budgets
+    of the telecommand transaction layer and the upload retry loop;
+    ``rng`` (a seeded ``numpy.random.Generator``, e.g. an
+    ``RngRegistry`` stream) provides deterministic backoff jitter.  The
+    defaults keep nominal campaigns byte-identical to the pre-robustness
+    behaviour on a clean link: one TC datagram, one upload, no waiting.
+    """
 
     def __init__(
         self,
@@ -128,31 +231,40 @@ class NetworkControlCenter:
         registry: FunctionRegistry,
         sat_address: int,
         fpga_geometry: tuple[int, int, int] = (16, 16, 64),
+        tc_policy: Optional[RetryPolicy] = None,
+        upload_policy: Optional[RetryPolicy] = None,
+        rng=None,
     ) -> None:
         self.node = node
         self.sim: Simulator = node.sim
         self.registry = registry
         self.sat_address = sat_address
         self.geometry = fpga_geometry
+        self.rng = rng
+        self.upload_policy = upload_policy or DEFAULT_UPLOAD_POLICY
+        self.tc = TcTransactionClient(
+            node, sat_address, policy=tc_policy, rng=rng
+        )
         self._tc_id = 0
         self.results: list[CampaignResult] = []
 
     # -- telecommand round trip ------------------------------------------------
     def send_telecommand(self, action: str, args: dict):
-        """Generator: send a TC over UDP and return the TM reply dict."""
+        """Generator: one reliable TC transaction; returns the TM reply dict.
+
+        The transaction layer retransmits on a sim-time timeout instead
+        of blocking forever on a dropped TC or TM datagram, and raises
+        :class:`~repro.robustness.RetryExhausted` once the policy budget
+        is spent -- a dead link is detected at a *bounded* simulated
+        time.
+        """
         self._tc_id += 1
-        sock = UdpSocket(self.node.ip)
-        try:
-            msg = {"tc_id": self._tc_id, "action": action, "args": args}
-            sock.sendto(json.dumps(msg).encode(), self.sat_address, TC_PORT)
-            data, _src = yield sock.recv()
-            return json.loads(data.decode())
-        finally:
-            sock.close()
+        reply = yield from self.tc.request(self._tc_id, action, args)
+        return reply
 
     # -- uploads ----------------------------------------------------------------
-    def upload(self, filename: str, blob: bytes, protocol: str):
-        """Generator: push a file with the chosen N3 protocol."""
+    def _upload_once(self, filename: str, blob: bytes, protocol: str):
+        """Generator: one upload attempt with the chosen N3 protocol."""
         if protocol == "tftp":
             client = TftpClient(self.node.ip, self.sat_address)
             yield from client.write(filename, blob)
@@ -165,6 +277,19 @@ class NetworkControlCenter:
         else:
             raise ValueError(f"unknown protocol {protocol!r}")
 
+    def upload(self, filename: str, blob: bytes, protocol: str):
+        """Generator: push a file, retrying failed transfers under policy."""
+        if protocol not in ("tftp", "ftp", "scps"):
+            raise ValueError(f"unknown protocol {protocol!r}")
+        yield from run_with_retry(
+            self.sim,
+            lambda _attempt: self._upload_once(filename, blob, protocol),
+            policy=self.upload_policy,
+            rng=self.rng,
+            retry_on=UPLOAD_RETRY_ON,
+            name=f"upload.{protocol}",
+        )
+
     # -- the full campaign ---------------------------------------------------------
     def reconfigure_equipment(
         self,
@@ -175,7 +300,10 @@ class NetworkControlCenter:
     ):
         """Generator: upload + store + reconfigure + collect telemetry.
 
-        Returns a :class:`CampaignResult`.
+        Returns a :class:`CampaignResult`.  Both the store-failure and
+        the full-campaign result paths carry normalized telemetry (the
+        ``crc`` / ``rolled_back`` / ``safe_mode`` keys are always
+        present).
         """
         design = self.registry.get(function)
         bitstream = design.bitstream_for(*self.geometry)
@@ -191,9 +319,17 @@ class NetworkControlCenter:
             "store", {"file": filename, "function": function, "version": version}
         )
         if not reply["success"]:
+            telemetry = _normalize_telemetry(reply["payload"])
             result = CampaignResult(
-                function, protocol, t_upload, self.sim.now - t1,
-                False, False, None, reply["payload"],
+                function=function,
+                protocol=protocol,
+                upload_seconds=t_upload,
+                command_seconds=self.sim.now - t1,
+                success=False,
+                rolled_back=bool(telemetry["rolled_back"]),
+                crc=telemetry["crc"],
+                telemetry=telemetry,
+                safe_mode=bool(telemetry["safe_mode"]),
             )
             self.results.append(result)
             return result
@@ -202,16 +338,17 @@ class NetworkControlCenter:
             {"equipment": equipment, "function": function, "version": version},
         )
         t_cmd = self.sim.now - t1
-        payload = reply["payload"]
+        telemetry = _normalize_telemetry(reply["payload"])
         result = CampaignResult(
             function=function,
             protocol=protocol,
             upload_seconds=t_upload,
             command_seconds=t_cmd,
             success=bool(reply["success"]),
-            rolled_back=bool(payload.get("rolled_back", False)),
-            crc=payload.get("crc"),
-            telemetry=payload,
+            rolled_back=bool(telemetry["rolled_back"]),
+            crc=telemetry["crc"],
+            telemetry=telemetry,
+            safe_mode=bool(telemetry["safe_mode"]),
         )
         self.results.append(result)
         return result

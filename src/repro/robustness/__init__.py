@@ -1,0 +1,52 @@
+"""Fault-tolerance layer: retry policies, TC/TM transactions, safe mode.
+
+The paper's §3 reconfiguration architecture exists so that an upload or
+telecommand lost on the TM/TC space link never strands the payload.
+This package supplies the machinery that makes the rest of the
+repository live up to that:
+
+- :mod:`repro.robustness.policy` -- bounded retry with exponential
+  backoff and deterministic seeded jitter, usable by any
+  generator-based operation (:func:`run_with_retry`).
+- :mod:`repro.robustness.transactions` -- the TC/TM transaction layer:
+  retransmission with growing listen windows on the ground, and
+  ``tc_id``-keyed reply dedup on board so retransmitted telecommands
+  execute exactly once.
+- :mod:`repro.robustness.watchdog` -- the on-board watchdog + safe-mode
+  state machine: N consecutive failed validations/rollbacks trigger an
+  autonomous golden-image load from the bitstream library.
+- :mod:`repro.robustness.chaos` -- the chaos campaign harness: seeded
+  fault sweeps (frame drops, bit flips, SEU during load, lost final
+  ACK, truncated uploads, dead equipment) with mechanical invariants:
+  no hangs, bounded outage, payload never bricked.  (Import it as a
+  submodule; it is kept out of this namespace so the package never
+  cyclically imports :mod:`repro.ncc`.)
+
+See ``docs/robustness.md`` for the full semantics.
+"""
+
+from .policy import RetryExhausted, RetryPolicy, run_with_retry
+from .transactions import (
+    TC_PORT,
+    TcDedupCache,
+    TcTransactionClient,
+    TransactionError,
+    recv_within,
+)
+from .watchdog import DEGRADED, NOMINAL, SAFE_MODE, SafeModeWatchdog, WatchdogProcess
+
+__all__ = [
+    "DEGRADED",
+    "NOMINAL",
+    "RetryExhausted",
+    "RetryPolicy",
+    "SAFE_MODE",
+    "SafeModeWatchdog",
+    "TC_PORT",
+    "TcDedupCache",
+    "TcTransactionClient",
+    "TransactionError",
+    "WatchdogProcess",
+    "recv_within",
+    "run_with_retry",
+]

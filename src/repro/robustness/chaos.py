@@ -1,0 +1,617 @@
+"""Chaos campaign harness: seeded fault sweeps with invariants.
+
+The §3 reconfiguration architecture is only trustworthy if the payload
+*never bricks*: whatever the space link, the upload or the device does,
+the satellite must end every campaign operational (reconfigured, rolled
+back, failed over) or in safe mode on its golden image -- and it must
+get there in bounded simulated time with no hung process.
+
+This module sweeps seeded fault scenarios against the full NCC ->
+gateway -> OBC pipeline and checks those invariants mechanically:
+
+- **frame-drop / bit-flip** -- a lossy GEO link (drop or flip mode)
+  exercising TC retransmission, upload retry and validation rollback;
+- **seu-during-load** -- an upset burst corrupts every configuration
+  load (``corrupt_hook``), driving repeated rollback into the
+  watchdog's safe-mode escalation;
+- **lost-final-ack** -- TM replies are dropped after the command has
+  executed, proving ``tc_id`` dedup keeps execution exactly-once;
+- **truncated-upload** -- uploads land cut in half on board, so the
+  stored image fails its container CRC at load time;
+- **dead-equipment** -- a latch-up kills the primary demodulator and
+  the cold-spare :class:`~repro.core.redundancy.RedundantEquipment`
+  failover must carry the personality across.
+
+Every run is driven by one seed through
+:class:`~repro.sim.rng.RngRegistry` streams, so sweeps are
+bit-reproducible; retry/dedup/safe-mode activity is counted through
+``repro.obs`` probes and surfaced per run in :class:`ChaosOutcome`.
+
+Use::
+
+    campaign = ChaosCampaign(seeds=range(5))
+    outcomes = campaign.run()
+    for o in outcomes:
+        assert not violations(o), (o.scenario, o.seed, violations(o))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+from .. import obs
+from .policy import RetryExhausted, RetryPolicy
+from .watchdog import SafeModeWatchdog, WatchdogProcess
+
+__all__ = [
+    "ChaosCampaign",
+    "ChaosOutcome",
+    "ChaosScenario",
+    "ChaosWorld",
+    "arm_frame_drop",
+    "build_world",
+    "default_scenarios",
+    "violations",
+]
+
+
+# ---------------------------------------------------------------------------
+# world construction
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ChaosWorld:
+    """One fully wired ground+space simulation under test."""
+
+    sim: object
+    ground: object
+    space: object
+    link: object
+    payload: object
+    gateway: object
+    ncc: object
+    watchdog: SafeModeWatchdog
+    monitor: Optional[WatchdogProcess]
+    rngs: object
+    geometry: Tuple[int, int, int]
+
+
+def build_world(
+    seed: int = 0,
+    ber: float = 0.0,
+    error_mode: str = "drop",
+    rate_bps: float = 1e6,
+    delay: float = 0.25,
+    num_carriers: int = 2,
+    geometry: Tuple[int, int, int] = (8, 8, 32),
+    tc_policy: Optional[RetryPolicy] = None,
+    upload_policy: Optional[RetryPolicy] = None,
+    watchdog_threshold: int = 2,
+    watchdog_period: Optional[float] = 120.0,
+    uploads: Optional[dict] = None,
+    boot_modem: str = "modem.cdma",
+    boot_decoder: str = "decod.conv",
+):
+    """Build a seeded NCC<->satellite world with the robustness layer armed.
+
+    Returns a :class:`ChaosWorld`.  All randomness (link losses, retry
+    jitter) is drawn from named streams of one ``RngRegistry(seed)``.
+    """
+    # imports deferred so repro.robustness never cyclically imports the
+    # packages that import *it* (repro.core / repro.ncc)
+    from ..core import PayloadConfig, RegenerativePayload
+    from ..ncc.campaign import NetworkControlCenter, SatelliteGateway
+    from ..net.simnet import Link, Node
+    from ..sim import RngRegistry, Simulator
+
+    rngs = RngRegistry(seed)
+    sim = Simulator()
+    ground = Node(sim, "ncc", 1)
+    space = Node(sim, "sat", 2)
+    link = Link(
+        sim,
+        delay=delay,
+        rate_bps=rate_bps,
+        ber=ber,
+        rng=rngs.stream("chaos.link") if ber > 0 else None,
+        error_mode=error_mode,
+        name="space-link",
+    )
+    link.attach(ground)
+    link.attach(space)
+
+    payload = RegenerativePayload(
+        PayloadConfig(
+            num_carriers=num_carriers,
+            fpga_rows=geometry[0],
+            fpga_cols=geometry[1],
+            fpga_bits_per_clb=geometry[2],
+        )
+    )
+    payload.boot(modem=boot_modem, decoder=boot_decoder)
+
+    golden = {eq.name: boot_modem for eq in payload.demods}
+    golden[payload.decoder.name] = boot_decoder
+    watchdog = payload.obc.arm_watchdog(golden, threshold=watchdog_threshold)
+    # seed the golden images into the on-board library (§3.2) so safe
+    # mode can restore without a ground round trip
+    for fn in set(golden.values()):
+        payload.obc.library.store(
+            payload.registry.get(fn).bitstream_for(*geometry)
+        )
+    monitor = (
+        WatchdogProcess(sim, watchdog, period=watchdog_period)
+        if watchdog_period
+        else None
+    )
+
+    gateway = SatelliteGateway(space, payload, uploads=uploads)
+    ncc = NetworkControlCenter(
+        ground,
+        payload.registry,
+        sat_address=2,
+        fpga_geometry=geometry,
+        tc_policy=tc_policy,
+        upload_policy=upload_policy,
+        rng=rngs.stream("chaos.jitter"),
+    )
+    return ChaosWorld(
+        sim=sim,
+        ground=ground,
+        space=space,
+        link=link,
+        payload=payload,
+        gateway=gateway,
+        ncc=ncc,
+        watchdog=watchdog,
+        monitor=monitor,
+        rngs=rngs,
+        geometry=geometry,
+    )
+
+
+# ---------------------------------------------------------------------------
+# fault injectors
+# ---------------------------------------------------------------------------
+
+def arm_frame_drop(node, count: int) -> dict:
+    """Drop the next ``count`` frames arriving at ``node``, then pass.
+
+    Installs a ``frame_tap`` on the node; returns the mutable state dict
+    (``{"left": n, "dropped": m}``) so tests can inspect it.
+    """
+    state = {"left": int(count), "dropped": 0}
+
+    def tap(frame: bytes) -> None:
+        if state["left"] > 0:
+            state["left"] -= 1
+            state["dropped"] += 1
+            return
+        node.ip.receive_frame(frame)
+
+    node.frame_tap = tap
+    return state
+
+
+def arm_blackhole(node) -> dict:
+    """Swallow *every* frame arriving at ``node`` (a dead receiver)."""
+    state = {"dropped": 0}
+
+    def tap(frame: bytes) -> None:
+        state["dropped"] += 1
+
+    node.frame_tap = tap
+    return state
+
+
+class TamperingUploads(dict):
+    """Upload store that truncates the first N files it receives.
+
+    Models a transfer that completes at the protocol level but lands
+    corrupt on board (e.g. an undetected mid-file loss): the stored
+    image then fails its container CRC when the reconfiguration
+    service fetches it.
+    """
+
+    def __init__(self, truncate_first: int = 3) -> None:
+        super().__init__()
+        self.remaining = int(truncate_first)
+        self.tampered = 0
+
+    def __setitem__(self, key, value):  # noqa: D105
+        if self.remaining > 0 and isinstance(value, (bytes, bytearray)) and len(value) > 8:
+            self.remaining -= 1
+            self.tampered += 1
+            value = bytes(value)[: len(value) // 2]
+        super().__setitem__(key, value)
+
+
+def _arm_seu_during_load(world: ChaosWorld, scenario: "ChaosScenario", rng) -> None:
+    """Every configuration load is followed by an upset burst."""
+    def hook(fpga):
+        n = min(32, fpga.num_config_bits)
+        fpga.upset_bits(rng.integers(0, fpga.num_config_bits, size=n))
+
+    world.gateway.obc.manager.default_corrupt_hook = hook
+
+
+# ---------------------------------------------------------------------------
+# scenario drivers (generators run as sim processes)
+# ---------------------------------------------------------------------------
+
+def _standard_campaign(world: ChaosWorld, scenario: "ChaosScenario", rng):
+    """Ground ops: issue the campaign, re-issue on failure, bounded."""
+    last = None
+    notes: dict = {"campaign_errors": 0}
+    for attempt in range(scenario.campaign_attempts):
+        try:
+            res = yield from world.ncc.reconfigure_equipment(
+                scenario.equipment, scenario.target, protocol=scenario.protocol
+            )
+        except RetryExhausted as exc:
+            notes["campaign_errors"] += 1
+            notes["last_error"] = str(exc)
+            yield world.sim.timeout(30.0)
+            continue
+        last = res
+        if res.success or res.safe_mode:
+            break
+        yield world.sim.timeout(10.0)
+    return {
+        "result": last,
+        "success": bool(last is not None and last.success),
+        "attempts": attempt + 1,
+        "notes": notes,
+    }
+
+
+def _lost_final_ack_driver(world: ChaosWorld, scenario: "ChaosScenario", rng):
+    """Upload cleanly, then lose the TM replies to the store TC.
+
+    The store command *executes* on board, but its acknowledgement never
+    reaches the ground -- the NCC retransmits, and only the gateway's
+    ``tc_id`` dedup keeps the execution exactly-once.
+    """
+    ncc = world.ncc
+    design = ncc.registry.get(scenario.target)
+    blob = design.bitstream_for(*ncc.geometry).to_bytes()
+    filename = f"{scenario.target}@1.bit"
+    yield from ncc.upload(filename, blob, scenario.protocol)
+    # from here on, only TM replies arrive at the ground node: drop them
+    drop = arm_frame_drop(world.ground, count=scenario.drop_count)
+    store = yield from ncc.send_telecommand(
+        "store", {"file": filename, "function": scenario.target, "version": 1}
+    )
+    reply = yield from ncc.send_telecommand(
+        "reconfigure",
+        {"equipment": scenario.equipment, "function": scenario.target, "version": 1},
+    )
+    ok = bool(store["success"] and reply["success"])
+    out = {
+        "success": ok,
+        "notes": {"tm_frames_dropped": drop["dropped"]},
+    }
+    if ok:
+        out["state_override"] = "reconfigured"
+    return out
+
+
+def _dead_equipment_driver(world: ChaosWorld, scenario: "ChaosScenario", rng):
+    """Latch-up on the primary demod; cold-spare failover must recover."""
+    from ..core.equipment import ReconfigurableEquipment
+    from ..core.redundancy import FailoverProcess, RedundantEquipment
+    from ..fpga.device import Fpga
+
+    g = world.geometry
+    primary = world.payload.demods[0]
+    spare = ReconfigurableEquipment(
+        f"{primary.name}-spare",
+        Fpga(
+            rows=g[0],
+            cols=g[1],
+            bits_per_clb=g[2],
+            gate_capacity=primary.fpga.gate_capacity,
+            name=f"{primary.fpga.name}-spare",
+        ),
+        world.payload.registry,
+        expected_kind=primary.expected_kind,
+    )
+    pair = RedundantEquipment(primary, spare)
+    # record the carried personality on the pair (failover re-renders it
+    # onto the spare from _last_design) and hand recovery authority over:
+    # the redundancy layer, not the watchdog, owns this failure mode.
+    pair.load(primary.loaded_design)
+    world.watchdog.suspend(primary.name)
+    FailoverProcess(world.sim, pair, check_period=10.0)
+    yield world.sim.timeout(25.0)
+    pair.mark_unit_failed(primary)  # permanent destructive failure (§4.2)
+    yield world.sim.timeout(60.0)  # health monitor cadence covers this
+    ok = pair.operational and pair.failovers == 1
+    return {
+        "success": ok,
+        "state_override": "failover" if ok else "down",
+        "operational_override": pair.operational,
+        "notes": {"failovers": pair.failovers, "active": pair.active.name},
+    }
+
+
+# ---------------------------------------------------------------------------
+# scenarios / outcomes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ChaosScenario:
+    """One seeded fault scenario of the sweep."""
+
+    name: str
+    description: str
+    ber: float = 0.0
+    error_mode: str = "drop"
+    rate_bps: float = 1e6
+    protocol: str = "tftp"
+    equipment: str = "demod0"
+    target: str = "modem.tdma"
+    campaign_attempts: int = 2
+    drop_count: int = 0
+    watchdog_threshold: int = 2
+    setup: Optional[Callable[[ChaosWorld, "ChaosScenario", object], None]] = None
+    driver: Optional[Callable] = None
+    uploads_factory: Optional[Callable[[], dict]] = None
+
+
+def default_scenarios() -> list[ChaosScenario]:
+    """The standard sweep: one scenario per §3/§4 failure mode."""
+    return [
+        ChaosScenario(
+            "nominal",
+            "control: clean link, campaign must succeed first try",
+        ),
+        ChaosScenario(
+            "frame-drop",
+            "lossy GEO link drops whole frames (link-layer CRC discard)",
+            ber=3e-5,
+            campaign_attempts=3,
+        ),
+        ChaosScenario(
+            "bit-flip",
+            "link delivers frames with independent bit errors",
+            ber=1e-5,
+            error_mode="flip",
+            campaign_attempts=3,
+        ),
+        ChaosScenario(
+            "seu-during-load",
+            "upset burst corrupts every configuration load (corrupt_hook)",
+            setup=_arm_seu_during_load,
+            campaign_attempts=3,
+        ),
+        ChaosScenario(
+            "lost-final-ack",
+            "TM replies dropped after execution; dedup keeps exactly-once",
+            driver=_lost_final_ack_driver,
+            drop_count=2,
+        ),
+        ChaosScenario(
+            "truncated-upload",
+            "uploads land truncated on board; stored image fails its CRC",
+            uploads_factory=lambda: TamperingUploads(truncate_first=3),
+            campaign_attempts=3,
+        ),
+        ChaosScenario(
+            "dead-equipment",
+            "latch-up kills the primary demod; cold-spare failover",
+            driver=_dead_equipment_driver,
+        ),
+    ]
+
+
+@dataclass
+class ChaosOutcome:
+    """What one (scenario, seed) run did, and where it ended up."""
+
+    scenario: str
+    seed: int
+    completed: bool
+    error: Optional[str]
+    success: bool
+    payload_state: str
+    operational: bool
+    safe_mode: Tuple[str, ...]
+    golden_loads_ok: bool
+    sim_seconds: float
+    link_drops: int
+    tc_retransmits: int
+    tc_timeouts: int
+    dedup_hits: int
+    tm_executed: int
+    duplicate_executions: int
+    notes: dict = field(default_factory=dict)
+
+
+#: End states that satisfy the "never bricked" invariant.
+ACCEPTABLE_STATES = ("reconfigured", "operational", "safe-mode", "failover")
+
+
+def violations(outcome: ChaosOutcome) -> list[str]:
+    """The invariant violations of one run (empty list == all good)."""
+    v: list[str] = []
+    if not outcome.completed:
+        v.append("hang: driver did not finish within the time limit")
+    if outcome.error:
+        v.append(f"driver error: {outcome.error}")
+    if outcome.payload_state not in ACCEPTABLE_STATES:
+        v.append(f"payload down (state={outcome.payload_state!r})")
+    if outcome.duplicate_executions:
+        v.append(
+            f"telecommand executed more than once "
+            f"({outcome.duplicate_executions} duplicate tc_ids)"
+        )
+    if not outcome.golden_loads_ok:
+        v.append("safe-mode entry without a loaded golden image")
+    return v
+
+
+# ---------------------------------------------------------------------------
+# the campaign runner
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def _ambient_obs():
+    """Reuse the surrounding observability session unchanged."""
+    yield (obs.get_registry(), obs.get_tracer())
+
+
+class ChaosCampaign:
+    """Sweep scenarios x seeds; collect per-run :class:`ChaosOutcome`.
+
+    When no observability session is active, each run opens an isolated
+    one (so retry/dedup/safe-mode counters are collected per run and
+    torn down afterwards); inside an active session -- e.g. the
+    ``REPRO_OBS=1`` benchmark snapshot -- the ambient registry is reused
+    so the sweep's counters land in that snapshot.
+    """
+
+    def __init__(
+        self,
+        scenarios: Optional[Sequence[ChaosScenario]] = None,
+        seeds: Iterable[int] = (0, 1, 2, 3, 4),
+        time_limit: float = 2 * 3600.0,
+    ) -> None:
+        self.scenarios = list(scenarios) if scenarios is not None else default_scenarios()
+        self.seeds = list(seeds)
+        self.time_limit = float(time_limit)
+        self.outcomes: list[ChaosOutcome] = []
+
+    def run(self) -> list[ChaosOutcome]:
+        """Run the full sweep; returns (and stores) every outcome."""
+        for scenario in self.scenarios:
+            for seed in self.seeds:
+                self.outcomes.append(self.run_one(scenario, seed))
+        return self.outcomes
+
+    def run_one(self, scenario: ChaosScenario, seed: int) -> ChaosOutcome:
+        """Run one (scenario, seed) world to completion or time limit."""
+        session = _ambient_obs() if obs.is_enabled() else obs.session()
+        with session:
+            world = build_world(
+                seed=seed,
+                ber=scenario.ber,
+                error_mode=scenario.error_mode,
+                rate_bps=scenario.rate_bps,
+                watchdog_threshold=scenario.watchdog_threshold,
+                uploads=(
+                    scenario.uploads_factory()
+                    if scenario.uploads_factory is not None
+                    else None
+                ),
+            )
+            chaos_rng = world.rngs.stream("chaos.faults")
+            if scenario.setup is not None:
+                scenario.setup(world, scenario, chaos_rng)
+            driver = scenario.driver or _standard_campaign
+            box: dict = {}
+
+            def main():
+                out = yield from driver(world, scenario, chaos_rng)
+                box.update(out or {})
+                box["_t_done"] = world.sim.now  # completion, not run(until=)
+
+            proc = world.sim.process(main(), name=f"chaos-{scenario.name}-{seed}")
+            world.sim.run(until=self.time_limit)
+            # drain any residual events (retransmission tails) without
+            # advancing past the limit: the run() above already stopped
+            # at time_limit, so a still-pending driver is a hang.
+            completed = bool(proc.triggered and proc.ok)
+            error = None
+            if proc.triggered and not proc.ok:
+                error = f"{type(proc.value).__name__}: {proc.value}"
+            return self._outcome(scenario, seed, world, box, completed, error)
+
+    # -- bookkeeping -------------------------------------------------------
+    def _outcome(
+        self,
+        scenario: ChaosScenario,
+        seed: int,
+        world: ChaosWorld,
+        box: dict,
+        completed: bool,
+        error: Optional[str],
+    ) -> ChaosOutcome:
+        tm_ids = [tm.tc_id for tm in world.gateway.obc.tm_log if tm.tc_id > 0]
+        duplicates = len(tm_ids) - len(set(tm_ids))
+        state = self._payload_state(world, box)
+        safe = tuple(sorted(world.watchdog.safe_mode))
+        golden_ok = all(e.get("loaded") for e in world.watchdog.entries) if safe else True
+        operational = bool(
+            box.get(
+                "operational_override",
+                world.payload.operational,
+            )
+        )
+        notes = dict(box.get("notes", {}))
+        if "attempts" in box:
+            notes["campaign_attempts"] = box["attempts"]
+        return ChaosOutcome(
+            scenario=scenario.name,
+            seed=seed,
+            completed=completed,
+            error=error,
+            success=bool(box.get("success", False)),
+            payload_state=state,
+            operational=operational,
+            safe_mode=safe,
+            golden_loads_ok=golden_ok,
+            sim_seconds=box.get("_t_done", world.sim.now),
+            link_drops=world.link.stats.get("dropped", 0),
+            tc_retransmits=world.ncc.tc.stats["retransmits"],
+            tc_timeouts=world.ncc.tc.stats["timeouts"],
+            dedup_hits=world.gateway.stats["dedup_hits"],
+            tm_executed=len(tm_ids),
+            duplicate_executions=duplicates,
+            notes=notes,
+        )
+
+    @staticmethod
+    def _payload_state(world: ChaosWorld, box: dict) -> str:
+        if "state_override" in box:
+            return box["state_override"]
+        if world.watchdog.safe_mode:
+            return "safe-mode"
+        res = box.get("result")
+        if res is not None and getattr(res, "success", False):
+            return "reconfigured"
+        if world.payload.operational:
+            return "operational"
+        return "down"
+
+    # -- reporting ---------------------------------------------------------
+    def summary_rows(self) -> list[list]:
+        """Table rows for benchmark/report printing."""
+        return [
+            [
+                o.scenario,
+                o.seed,
+                o.payload_state,
+                "yes" if o.completed else "HANG",
+                o.tc_retransmits,
+                o.dedup_hits,
+                o.link_drops,
+                ",".join(o.safe_mode) or "-",
+                f"{o.sim_seconds:.0f}s",
+            ]
+            for o in self.outcomes
+        ]
+
+    def totals(self) -> dict:
+        """Aggregated counters across the sweep (for snapshots/reports)."""
+        return {
+            "runs": len(self.outcomes),
+            "completed": sum(o.completed for o in self.outcomes),
+            "violations": sum(bool(violations(o)) for o in self.outcomes),
+            "tc_retransmits": sum(o.tc_retransmits for o in self.outcomes),
+            "dedup_hits": sum(o.dedup_hits for o in self.outcomes),
+            "safe_mode_runs": sum(bool(o.safe_mode) for o in self.outcomes),
+            "link_drops": sum(o.link_drops for o in self.outcomes),
+        }

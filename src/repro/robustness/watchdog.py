@@ -1,0 +1,245 @@
+"""On-board watchdog and safe-mode state machine.
+
+The paper's §3 recovery story (validation auto-test + rollback +
+on-board bitstream library) covers *one* failed reconfiguration.  A
+payload that keeps failing -- corrupted uploads, SEU storms during
+load, repeated rollback -- needs an autonomous escalation path, or the
+satellite ends up stranded waiting for ground intervention on a link
+that may itself be the problem.
+
+:class:`SafeModeWatchdog` implements spacecraft practice: it tracks
+*consecutive* failed validations/rollbacks per equipment and, once a
+threshold is crossed, autonomously loads a designated **golden image**
+from the on-board :class:`~repro.core.bitstore.BitstreamLibrary`
+(falling back to a registry render when the library copy is missing or
+corrupted) and latches the equipment into **safe mode**.  Safe-mode
+entry is reported in telemetry and counted on the ``core.watchdog``
+observability probe.
+
+State machine (per equipment, and aggregated for the payload)::
+
+    NOMINAL --failure--> DEGRADED --N-th consecutive failure--> SAFE_MODE
+       ^                     |                                    |
+       +-----success---------+          ground-commanded successful
+       ^                                reconfigure clears the latch
+       +--------------------------------------------------------+
+
+:class:`WatchdogProcess` is the optional periodic health monitor: it
+runs in simulated time and feeds failures into the watchdog whenever an
+equipment sits non-operational (dead device, aborted load), so even
+failures that never produce a telecommand response escalate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..obs.probes import probe as _obs_probe
+
+__all__ = ["SafeModeWatchdog", "WatchdogProcess", "NOMINAL", "DEGRADED", "SAFE_MODE"]
+
+#: Per-equipment (and payload-wide) watchdog states.
+NOMINAL = "nominal"
+DEGRADED = "degraded"
+SAFE_MODE = "safe-mode"
+
+
+class SafeModeWatchdog:
+    """Consecutive-failure watchdog with autonomous golden-image recovery.
+
+    Parameters
+    ----------
+    controller:
+        The :class:`~repro.core.obc.OnBoardController` (duck-typed: the
+        watchdog only uses ``controller.equipments`` and
+        ``controller.library``).
+    golden:
+        Map of equipment name -> golden function name.  The golden image
+        is the known-good personality the equipment boots into when the
+        watchdog fires (e.g. the launch configuration).
+    threshold:
+        Number of *consecutive* failures that trips safe mode.
+    """
+
+    def __init__(self, controller, golden: Dict[str, str], threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.controller = controller
+        self.golden = dict(golden)
+        self.threshold = threshold
+        #: consecutive-failure streak per equipment
+        self.failures: Dict[str, int] = {}
+        #: equipments currently latched in safe mode -> entry info dict
+        self.safe_mode: Dict[str, dict] = {}
+        #: chronological log of every safe-mode entry
+        self.entries: list[dict] = []
+        #: equipments excluded from monitoring (e.g. handed over to a
+        #: :class:`~repro.core.redundancy.FailoverProcess`)
+        self.suspended: set[str] = set()
+        self._probe = _obs_probe("core.watchdog")
+
+    # -- state inspection --------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Aggregated payload state (worst equipment wins)."""
+        if self.safe_mode:
+            return SAFE_MODE
+        if any(self.failures.values()):
+            return DEGRADED
+        return NOMINAL
+
+    def state_of(self, equipment_name: str) -> str:
+        """The watchdog state of one equipment."""
+        if equipment_name in self.safe_mode:
+            return SAFE_MODE
+        if self.failures.get(equipment_name, 0) > 0:
+            return DEGRADED
+        return NOMINAL
+
+    def status(self) -> dict:
+        """Telemetry-ready summary (goes into the ``status`` TC reply)."""
+        return {
+            "state": self.state,
+            "threshold": self.threshold,
+            "failures": {k: v for k, v in sorted(self.failures.items()) if v},
+            "safe_mode": sorted(self.safe_mode),
+            "entries": len(self.entries),
+        }
+
+    # -- monitoring control ------------------------------------------------
+    def suspend(self, equipment_name: str) -> None:
+        """Exclude one equipment from watchdog escalation.
+
+        Used when another recovery authority owns the unit -- e.g. a
+        redundancy :class:`~repro.core.redundancy.FailoverProcess` that
+        will deliberately leave the failed primary dark.
+        """
+        self.suspended.add(equipment_name)
+        self.failures[equipment_name] = 0
+
+    def resume(self, equipment_name: str) -> None:
+        """Re-enable watchdog escalation for one equipment."""
+        self.suspended.discard(equipment_name)
+
+    # -- event sinks -------------------------------------------------------
+    def record_success(self, equipment_name: str) -> None:
+        """A validated reconfiguration succeeded: clear streak and latch.
+
+        A ground-commanded reconfiguration that passes validation is the
+        canonical safe-mode *exit* -- the payload is demonstrably healthy
+        on a fresh image.
+        """
+        self.failures[equipment_name] = 0
+        if self.safe_mode.pop(equipment_name, None) is not None:
+            p = self._probe
+            if p is not None:
+                p.count("safe_mode_exits")
+                p.event("watchdog.safe_mode_exit", equipment=equipment_name)
+
+    def record_failure(self, equipment_name: str) -> Optional[dict]:
+        """A validation/rollback failed; may trip safe mode.
+
+        Returns the safe-mode entry info dict when this failure crossed
+        the threshold, else ``None``.
+        """
+        if equipment_name in self.suspended:
+            return None
+        n = self.failures.get(equipment_name, 0) + 1
+        self.failures[equipment_name] = n
+        p = self._probe
+        if p is not None:
+            p.count("failures_observed")
+        if n >= self.threshold and equipment_name not in self.safe_mode:
+            return self._enter_safe_mode(
+                equipment_name, reason=f"{n} consecutive failures"
+            )
+        return None
+
+    # -- the escalation ----------------------------------------------------
+    def _enter_safe_mode(self, equipment_name: str, reason: str) -> dict:
+        """Load the golden image and latch the equipment into safe mode."""
+        golden = self.golden.get(equipment_name)
+        eq = self.controller.equipments.get(equipment_name)
+        info = {
+            "equipment": equipment_name,
+            "reason": reason,
+            "golden": golden,
+            "loaded": False,
+            "source": None,
+        }
+        if eq is not None and golden is not None:
+            # prefer the library copy (§3.2's on-board files library)...
+            bitstream = None
+            try:
+                bitstream = self.controller.library.fetch(golden)
+            except Exception:
+                bitstream = None
+            if bitstream is not None:
+                try:
+                    eq.load(golden, bitstream)
+                    info["loaded"] = True
+                    info["source"] = "library"
+                except Exception:
+                    bitstream = None  # corrupted library copy: fall back
+            if bitstream is None:
+                # ...fall back to rendering from the design registry
+                try:
+                    eq.load(golden)
+                    info["loaded"] = True
+                    info["source"] = "registry"
+                except Exception as exc:
+                    info["error"] = str(exc)
+        elif golden is None:
+            info["error"] = "no golden image designated"
+        else:
+            info["error"] = f"unknown equipment {equipment_name!r}"
+        self.safe_mode[equipment_name] = info
+        self.failures[equipment_name] = 0
+        self.entries.append(info)
+        p = self._probe
+        if p is not None:
+            p.count("safe_mode_entries")
+            if info["loaded"]:
+                p.count("golden_loads")
+            p.event(
+                "watchdog.safe_mode",
+                equipment=equipment_name,
+                reason=reason,
+                golden=golden,
+                loaded=info["loaded"],
+                source=info["source"],
+            )
+        return info
+
+
+class WatchdogProcess:
+    """Periodic health monitor driving a :class:`SafeModeWatchdog`.
+
+    Every ``period`` simulated seconds, each equipment that is neither
+    operational nor already in safe mode accrues one failure -- so a
+    payload left dark by an aborted load or a dead device escalates to
+    the golden image without any ground contact.  The monitor never
+    *clears* streaks: only an explicitly validated success does (see
+    :meth:`SafeModeWatchdog.record_success`), which keeps "rolled back
+    but still failing" sequences counting up.
+    """
+
+    def __init__(self, sim, watchdog: SafeModeWatchdog, period: float = 30.0) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.watchdog = watchdog
+        self.period = period
+        self.checks = 0
+        self.process = sim.process(self._run(), name="obc-watchdog")
+
+    def _run(self):
+        wd = self.watchdog
+        while True:
+            yield self.sim.timeout(self.period)
+            self.checks += 1
+            for name, eq in wd.controller.equipments.items():
+                if name in wd.safe_mode or name in wd.suspended:
+                    continue
+                if not eq.operational:
+                    wd.record_failure(name)

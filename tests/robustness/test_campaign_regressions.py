@@ -1,0 +1,193 @@
+"""Regression tests for the pre-robustness campaign failure modes.
+
+Three historical bugs, each pinned by a test:
+
+1. ``send_telecommand`` did ``sendto(); yield recv()`` -- a dropped TC
+   or TM datagram stranded the ground process *forever* (no sim-time
+   timeout).  The transaction layer must fail at bounded simulated time.
+2. The ``store``-failure path built its :class:`CampaignResult` from the
+   raw error payload, so ``result.telemetry["crc"]`` /
+   ``["rolled_back"]`` raised ``KeyError`` depending on which step
+   failed.  Both paths must now carry normalized telemetry.
+3. ``ReconfigurationManager`` crashed (uncaught ``KeyError``) when the
+   previous design could be recovered from *neither* the library nor
+   the design registry; it must degrade to ``rollback-none`` instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PayloadConfig, RegenerativePayload
+from repro.core.bitstore import BitstreamLibrary
+from repro.core.registry import FunctionRegistry
+from repro.fpga.memory import OnboardMemory
+from repro.net.udp import UdpSocket
+from repro.robustness import RetryExhausted, RetryPolicy
+from repro.robustness.chaos import arm_blackhole, build_world
+from repro.robustness.transactions import TC_PORT
+
+GEOM = (8, 8, 32)
+
+
+class TestSendTelecommandBoundedTimeout:
+    """Regression: a lost TC/TM datagram must not hang the NCC forever."""
+
+    def test_old_raw_pattern_hangs_demo(self):
+        """The pre-robustness pattern provably hangs on a dead link."""
+        world = build_world(seed=0)
+        arm_blackhole(world.space)  # satellite receiver dead
+
+        def old_send_telecommand():
+            # verbatim shape of the old campaign code: no timeout race
+            sock = UdpSocket(world.ground.ip)
+            sock.sendto(b'{"tc_id": 1, "action": "status", "args": {}}', 2, TC_PORT)
+            yield sock.recv()  # <- blocks forever when the reply is lost
+
+        proc = world.sim.process(old_send_telecommand())
+        world.sim.run(until=7 * 24 * 3600.0)  # a week of simulated time
+        assert not proc.triggered  # still stranded: that was the bug
+
+    def test_new_transaction_fails_at_bounded_sim_time(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=2.0, multiplier=2.0, jitter=0.0)
+        world = build_world(seed=0, tc_policy=policy)
+        arm_blackhole(world.space)
+        box = {}
+
+        def campaign():
+            try:
+                yield from world.ncc.send_telecommand("status", {})
+            except RetryExhausted as exc:
+                box["error"] = exc
+                box["t"] = world.sim.now
+
+        world.sim.run(until=0)  # let servers start
+        world.sim.process(campaign())
+        world.sim.run(until=7 * 24 * 3600.0)
+        assert isinstance(box["error"], RetryExhausted)
+        # listen windows 2 + 4 + 8 s: detection within the policy bound,
+        # not a week-long hang
+        assert box["t"] == pytest.approx(14.0)
+        assert box["t"] <= policy.total_delay_bound()
+
+
+class TestStoreFailureResultNormalization:
+    """Regression: the store-failure CampaignResult omitted telemetry keys."""
+
+    def _world_with_full_memory(self):
+        world = build_world(seed=0)
+        tiny = BitstreamLibrary(OnboardMemory(capacity_bytes=64))
+        world.payload.obc.library = tiny
+        world.payload.obc.manager.library = tiny
+        world.payload.obc.manager.reconfig.library = tiny
+        return world
+
+    def test_store_failure_result_carries_normalized_telemetry(self):
+        world = self._world_with_full_memory()
+        box = {}
+
+        def campaign():
+            box["res"] = yield from world.ncc.reconfigure_equipment(
+                "demod0", "modem.tdma", protocol="tftp"
+            )
+
+        world.sim.process(campaign())
+        world.sim.run(until=3600)
+        res = box["res"]
+        assert not res.success
+        # the exact keys the old code raised KeyError on:
+        assert res.crc is None
+        assert res.rolled_back is False
+        assert res.safe_mode is False
+        for key in ("crc", "rolled_back", "safe_mode", "final_function", "error"):
+            assert key in res.telemetry, key
+        assert "memory full" in res.telemetry["error"] or "error" in res.telemetry
+        # the payload was never touched: still on its boot personality
+        assert world.payload.demods[0].loaded_design == "modem.cdma"
+
+    def test_full_campaign_result_has_the_same_shape(self):
+        world = build_world(seed=0)
+        box = {}
+
+        def campaign():
+            box["res"] = yield from world.ncc.reconfigure_equipment(
+                "demod0", "modem.tdma", protocol="tftp"
+            )
+
+        world.sim.process(campaign())
+        world.sim.run(until=3600)
+        res = box["res"]
+        assert res.success
+        for key in ("crc", "rolled_back", "safe_mode", "final_function"):
+            assert key in res.telemetry, key
+        assert res.crc is not None
+        assert res.telemetry["final_function"] == "modem.tdma"
+
+
+class TestRollbackWithUnrecoverablePreviousImage:
+    """Regression: rollback must degrade, not crash, when the previous
+    design is gone from both the library and the registry."""
+
+    def _payload(self):
+        payload = RegenerativePayload(
+            PayloadConfig(
+                num_carriers=1,
+                fpga_rows=GEOM[0],
+                fpga_cols=GEOM[1],
+                fpga_bits_per_clb=GEOM[2],
+            )
+        )
+        payload.boot(modem="modem.cdma")
+        return payload
+
+    def test_rollback_none_when_no_previous_configuration(self):
+        payload = self._payload()
+        eq = payload.demods[0]
+        eq.unload()  # blank FPGA: nothing to roll back to
+        steps = []
+        ok = payload.obc.manager._rollback(eq, None, None, steps)
+        assert ok is False
+        assert steps[-1].step == "rollback-none"
+        assert eq.loaded_design is None
+
+    def test_execute_survives_prev_design_missing_everywhere(self):
+        payload = self._payload()
+        eq = payload.demods[0]
+        manager = payload.obc.manager
+        # target available in the library; previous design nowhere:
+        payload.obc.library.store(
+            payload.registry.get("modem.tdma").bitstream_for(*GEOM)
+        )
+        pruned = FunctionRegistry()
+        pruned.add(payload.registry.get("modem.tdma"))
+        eq.registry = pruned  # "modem.cdma" no longer renderable
+        rng = np.random.default_rng(0)
+
+        def corrupt(fpga):
+            fpga.upset_bits(rng.integers(0, fpga.num_config_bits, size=16))
+
+        report = manager.execute(eq, "modem.tdma", corrupt_hook=corrupt)
+        # validation failed and rollback found nothing -- but no crash:
+        assert not report.success
+        assert not report.rolled_back
+        assert report.final_function is None
+        assert any(s.step == "rollback-none" for s in report.steps)
+
+    def test_execute_still_rolls_back_via_registry_when_library_lacks_prev(self):
+        payload = self._payload()
+        eq = payload.demods[0]
+        manager = payload.obc.manager
+        payload.obc.library.store(
+            payload.registry.get("modem.tdma").bitstream_for(*GEOM)
+        )
+        # library has only the target; prev (modem.cdma) re-renders from
+        # the full registry -- the graceful intermediate case
+        rng = np.random.default_rng(0)
+
+        def corrupt(fpga):
+            fpga.upset_bits(rng.integers(0, fpga.num_config_bits, size=16))
+
+        report = manager.execute(eq, "modem.tdma", corrupt_hook=corrupt)
+        assert not report.success
+        assert report.rolled_back
+        assert report.final_function == "modem.cdma"
+        assert eq.operational

@@ -1,0 +1,147 @@
+"""Tests for RetryPolicy / run_with_retry (bounded backoff + jitter)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.robustness import RetryExhausted, RetryPolicy, run_with_retry
+from repro.sim import RngRegistry, Simulator
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_for(-1)
+
+    def test_exponential_growth_without_jitter(self):
+        p = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=60.0, jitter=0.0)
+        assert [p.delay_for(k) for k in range(4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_clamped_to_max_delay(self):
+        p = RetryPolicy(base_delay=10.0, multiplier=4.0, max_delay=25.0, jitter=0.0)
+        assert p.delay_for(0) == 10.0
+        assert p.delay_for(1) == 25.0
+        assert p.delay_for(5) == 25.0
+
+    def test_no_rng_means_deterministic_even_with_jitter(self):
+        p = RetryPolicy(jitter=0.5)
+        assert p.delay_for(2) == p.delay_for(2) == 4.0
+
+    def test_jitter_bounded_and_seed_reproducible(self):
+        p = RetryPolicy(base_delay=2.0, jitter=0.25)
+        a = [p.delay_for(1, np.random.default_rng(7)) for _ in range(5)]
+        b = [p.delay_for(1, np.random.default_rng(7)) for _ in range(5)]
+        assert a == b  # same seed, same delays
+        for d in a:
+            assert 4.0 * 0.75 <= d <= 4.0 * 1.25
+
+    def test_total_delay_bound_covers_jittered_sum(self):
+        p = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.1)
+        rng = np.random.default_rng(3)
+        total = sum(p.delay_for(k, rng) for k in range(p.max_attempts))
+        assert total <= p.total_delay_bound()
+
+
+def _drive(sim, gen, until=1e6):
+    box = {}
+
+    def main():
+        try:
+            box["value"] = yield from gen
+            box["t_done"] = sim.now
+        except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+            box["error"] = exc
+            box["t_error"] = sim.now
+
+    sim.process(main())
+    sim.run(until=until)
+    return box
+
+
+class TestRunWithRetry:
+    def _flaky(self, sim, fail_times, exc=OSError):
+        calls = {"n": 0}
+
+        def make_attempt(_k):
+            def attempt():
+                calls["n"] += 1
+                yield sim.timeout(1.0)
+                if calls["n"] <= fail_times:
+                    raise exc(f"attempt {calls['n']} failed")
+                return f"ok after {calls['n']}"
+
+            return attempt()
+
+        return make_attempt, calls
+
+    def test_first_try_success_no_backoff(self):
+        sim = Simulator()
+        make, calls = self._flaky(sim, fail_times=0)
+        box = _drive(sim, run_with_retry(sim, make, name="op"))
+        assert box["value"] == "ok after 1"
+        assert calls["n"] == 1
+        assert box["t_done"] == 1.0  # just the attempt, no backoff ever waited
+
+    def test_recovers_after_failures_with_backoff(self):
+        sim = Simulator()
+        make, calls = self._flaky(sim, fail_times=2)
+        policy = RetryPolicy(max_attempts=4, base_delay=2.0, multiplier=2.0, jitter=0.0)
+        box = _drive(sim, run_with_retry(sim, make, policy=policy, name="op"))
+        assert box["value"] == "ok after 3"
+        assert calls["n"] == 3
+        # 3 attempts x 1 s  +  backoffs 2 s + 4 s
+        assert box["t_done"] == pytest.approx(3.0 + 2.0 + 4.0)
+
+    def test_exhaustion_raises_with_context(self):
+        sim = Simulator()
+        make, calls = self._flaky(sim, fail_times=99)
+        policy = RetryPolicy(max_attempts=3, base_delay=1.0, jitter=0.0)
+        box = _drive(sim, run_with_retry(sim, make, policy=policy, name="upload.tftp"))
+        err = box["error"]
+        assert isinstance(err, RetryExhausted)
+        assert err.name == "upload.tftp"
+        assert err.attempts == 3
+        assert isinstance(err.last_error, OSError)
+        assert calls["n"] == 3
+        # bounded: all attempts + all backoffs fit under the policy bound
+        assert box["t_error"] <= 3 * 1.0 + policy.total_delay_bound()
+
+    def test_unlisted_exception_propagates_immediately(self):
+        sim = Simulator()
+        make, calls = self._flaky(sim, fail_times=99, exc=KeyError)
+        box = _drive(
+            sim, run_with_retry(sim, make, retry_on=(OSError,), name="op")
+        )
+        assert isinstance(box["error"], KeyError)
+        assert calls["n"] == 1  # no retry on unlisted exceptions
+
+    def test_jitter_uses_supplied_stream_deterministically(self):
+        times = []
+        for _ in range(2):
+            sim = Simulator()
+            make, _ = self._flaky(sim, fail_times=3)
+            policy = RetryPolicy(max_attempts=5, base_delay=2.0, jitter=0.2)
+            rng = RngRegistry(11).stream("retry")
+            box = _drive(sim, run_with_retry(sim, make, policy=policy, rng=rng, name="op"))
+            times.append(box["t_done"])
+        assert times[0] == times[1]
+
+    def test_probe_counters(self):
+        with obs.session() as (reg, _):
+            sim = Simulator()
+            make, _ = self._flaky(sim, fail_times=2)
+            policy = RetryPolicy(max_attempts=4, base_delay=1.0, jitter=0.0)
+            box = _drive(sim, run_with_retry(sim, make, policy=policy, name="op"))
+            assert box["value"].startswith("ok")
+            assert reg.value("robustness.retry.attempts", operation="op") == 3
+            assert reg.value("robustness.retry.failures", operation="op") == 2
+            assert reg.value("robustness.retry.retries", operation="op") == 2
+            assert reg.value("robustness.retry.recovered", operation="op") == 1

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness all
+.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -18,6 +18,9 @@ test-obs:  ## observability layer: metrics, tracing, golden traces, fault inject
 
 test-robustness:  ## fault-tolerance layer: retry, TC/TM transactions, watchdog, chaos sweeps
 	$(PYTHON) -m pytest tests/robustness/
+
+test-fdir:  ## traffic-plane FDIR: health monitors, recovery ladder, degraded modes, traffic chaos
+	$(PYTHON) -m pytest -m fdir tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,107 @@
+"""C13 -- traffic-plane FDIR: detection latency + recovery time per fault class.
+
+Times the traffic-plane chaos sweep (every default scenario, one seed)
+over the live 3-carrier regenerative chain and prints the per-fault-class
+FDIR table: frames from fault onset to first alarm/action (detection
+latency), frames to clean delivery at the expected width (recovery
+time), the ladder actions taken, and the delivery rate.
+
+Run with ``REPRO_OBS=1`` and the stack's ``fdir_*`` counters --
+``fdir.health.trips``, ``fdir.arbiter.actions_*``,
+``fdir.degraded.sheds`` -- land in the exported metrics snapshot
+(``BENCH_METRICS.json``) via the session fixture in ``conftest.py``,
+the machine-checkable record that every injected fault was detected
+and recovered autonomously.
+"""
+
+from conftest import print_table
+from repro.robustness.fdir.chaos import (
+    TrafficChaosCampaign,
+    default_traffic_scenarios,
+    violations,
+)
+
+
+def test_fdir_detection_and_recovery(benchmark):
+    def run():
+        campaign = TrafficChaosCampaign()
+        campaign.run(seeds=[0])
+        return campaign
+
+    campaign = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_name = {s.name: s for s in campaign.scenarios}
+    rows = []
+    for o in campaign.outcomes:
+        sc = by_name[o.scenario]
+        onset = sc.fault_start
+        detect = o.detection_latency
+        recover = (
+            o.recovery_frame - onset
+            if (onset is not None and o.recovery_frame is not None)
+            else None
+        )
+        kinds = sorted({a[2] for a in o.actions} | {k for k, _, _ in o.policy_events})
+        rows.append(
+            [
+                o.scenario,
+                o.frames,
+                "-" if detect is None else detect,
+                "-" if recover is None else recover,
+                ",".join(kinds) or "-",
+                f"{o.delivery_rate:.2f}",
+                o.final_active,
+                len(violations(o, sc)),
+            ]
+        )
+    print_table(
+        "traffic-plane FDIR: per-fault-class detection latency and recovery",
+        [
+            "scenario",
+            "frames",
+            "detect (fr)",
+            "recover (fr)",
+            "actions",
+            "delivery",
+            "active",
+            "viol",
+        ],
+        rows,
+    )
+    # every fault class: detected, recovered, zero invariant violations
+    assert all(o.completed for o in campaign.outcomes)
+    assert campaign.all_violations() == []
+    faulted = [
+        o
+        for o in campaign.outcomes
+        if by_name[o.scenario].fault_start is not None
+    ]
+    assert faulted and all(
+        o.detection_latency is not None for o in faulted
+    ), "every injected fault must be detected"
+    # detection is prompt: step faults are caught within 6 frames of
+    # onset; the fade ramp grows from zero dB at onset, so its "latency"
+    # is dominated by how long the fade takes to matter, not by the
+    # monitors -- allow the ramp time
+    for o in faulted:
+        bound = 12 if o.scenario == "fade-ramp" else 6
+        assert o.detection_latency <= bound, (o.scenario, o.detection_latency)
+
+
+def test_fdir_steady_state_overhead(benchmark):
+    """The fault-free control: monitoring the live chain is cheap and
+    delivers everything."""
+    scenarios = [s for s in default_traffic_scenarios() if s.name == "nominal"]
+
+    def run():
+        campaign = TrafficChaosCampaign(scenarios)
+        campaign.run(seeds=[0])
+        return campaign.outcomes[0]
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"nominal: {outcome.delivered}/{outcome.attempted} blocks delivered, "
+        f"{len(outcome.actions)} FDIR actions, "
+        f"{sum(outcome.trips_per_carrier.values())} alarms"
+    )
+    assert outcome.delivered == outcome.attempted
+    assert not outcome.actions

@@ -118,6 +118,13 @@ class ValidationProcess:
 
     Each cycle CRC-checks each registered equipment against the library
     image, logs availability, and appends a TM frame to the OBC log.
+
+    ``notify``, when given, is called as ``notify(equipment_name,
+    crc_ok)`` after each per-equipment check -- the hook through which
+    housekeeping validation outcomes feed external FDIR machinery (e.g.
+    the :mod:`repro.robustness.fdir` arbiter or the safe-mode
+    watchdog).  Hook exceptions are swallowed: housekeeping must never
+    die because a consumer misbehaved.
     """
 
     def __init__(
@@ -126,6 +133,7 @@ class ValidationProcess:
         obc: OnBoardController,
         period: float = 6 * 3600.0,
         log: Optional[HousekeepingLog] = None,
+        notify=None,
     ) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
@@ -133,6 +141,7 @@ class ValidationProcess:
         self.obc = obc
         self.period = period
         self.log = log or HousekeepingLog()
+        self.notify = notify
         self.process = sim.process(self._run(), name="validation")
 
     def _run(self):
@@ -153,6 +162,11 @@ class ValidationProcess:
                     crc_ok = False
                 if not crc_ok:
                     self.log.validation_failures += 1
+                if self.notify is not None:
+                    try:
+                        self.notify(name, crc_ok)
+                    except Exception:
+                        pass  # FDIR consumers must not kill housekeeping
                 self.obc.tm_log.append(
                     Telemetry(
                         0,

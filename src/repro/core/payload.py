@@ -155,6 +155,20 @@ class RegenerativePayload:
         )
         self.obc.register_equipment(self.decoder)
         self.switch = PacketSwitch()
+        #: optional traffic-plane health sink (duck-typed: anything with
+        #: ``observe_burst(carrier, diag)`` / ``observe_decode(carrier,
+        #: ok)``, e.g. :class:`repro.robustness.fdir.HealthMonitorBank`)
+        self.health = None
+
+    def attach_health(self, bank) -> None:
+        """Attach a per-carrier health monitor bank to the live chain.
+
+        Every subsequent :meth:`process_uplink` feeds each carrier's
+        receive diagnostics to ``bank.observe_burst`` and every
+        :meth:`decode_block` carrying a ``carrier`` feeds the CRC
+        outcome to ``bank.observe_decode`` -- the FDIR detection path.
+        """
+        self.health = bank
 
     # -- bring-up ---------------------------------------------------------
     def boot(self, modem: str = "modem.tdma", decoder: str = "decod.conv") -> None:
@@ -221,13 +235,14 @@ class RegenerativePayload:
         else:
             channels = x[None, :]
         from ..dsp.tdma import BurstSyncError
+        from .equipment import EquipmentError
 
         out_bits: List[np.ndarray] = []
         diags: List[dict] = []
         for k, eq in enumerate(self.demods):
-            modem = eq.behaviour()
             want = bits_expected[k] if bits_expected else None
             try:
+                modem = eq.behaviour()
                 if hasattr(modem, "bits_per_burst"):  # TDMA
                     res = modem.receive(channels[k], num_bits=want)
                 else:  # CDMA
@@ -239,13 +254,31 @@ class RegenerativePayload:
                 out_bits.append(np.zeros(n, dtype=np.uint8))
                 diags.append({"sync_failed": str(exc)})
                 continue
+            except EquipmentError as exc:
+                # fault containment: a dead demodulator (latch-up, SEU)
+                # silences its own carrier only -- the FDIR isolation
+                # ladder picks the diagnostic up from here
+                n = want or 128
+                out_bits.append(np.zeros(n, dtype=np.uint8))
+                diags.append({"equipment_failed": str(exc)})
+                continue
             out_bits.append(res["bits"])
             diags.append({key: res[key] for key in res if key != "bits"})
+        if self.health is not None:
+            for k, diag in enumerate(diags):
+                self.health.observe_burst(k, diag)
         return {"bits": out_bits, "diagnostics": diags}
 
-    def decode_block(self, llr: np.ndarray) -> dict:
-        """Run one transport block through the decoder personality."""
-        return self.decoder.behaviour().decode(llr)
+    def decode_block(self, llr: np.ndarray, carrier: Optional[int] = None) -> dict:
+        """Run one transport block through the decoder personality.
+
+        ``carrier`` attributes the block to an uplink carrier so the
+        attached health bank's CRC-failure tracker sees the outcome.
+        """
+        result = self.decoder.behaviour().decode(llr)
+        if self.health is not None and carrier is not None:
+            self.health.observe_decode(carrier, bool(result.get("crc_ok")))
+        return result
 
     def route_packets(self, packets: List[bytes]) -> dict:
         """Baseband switching of regenerated packets."""

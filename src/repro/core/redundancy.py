@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.probes import probe as _obs_probe
 from ..sim import Simulator
 from .equipment import EquipmentError, ReconfigurableEquipment
 
@@ -28,6 +29,12 @@ class RedundantEquipment:
 
     The spare is *cold*: unpowered and unconfigured until a failover.
     ``behaviour()`` delegates to whichever unit is active.
+
+    When *both* units have permanently failed the pair becomes
+    **terminal**: ``operational`` is ``False``, ``behaviour()`` raises
+    :class:`EquipmentError` instead of delegating to a dead unit, and
+    the failover that discovered the condition reports it so the caller
+    can latch watchdog safe mode.
     """
 
     def __init__(
@@ -41,6 +48,8 @@ class RedundantEquipment:
         self.spare = spare
         self.active = primary
         self.failovers = 0
+        #: both units permanently failed -- the logical equipment is gone
+        self.terminal = False
         self._failed_units: set[str] = set()
         self._last_design: Optional[str] = None
 
@@ -54,15 +63,30 @@ class RedundantEquipment:
 
     @property
     def operational(self) -> bool:
+        if self.terminal:
+            return False
         return self.active.operational
 
     def behaviour(self):
-        """The live behavioural model of the active unit."""
+        """The live behavioural model of the active unit.
+
+        Raises :class:`EquipmentError` once the pair is terminal: a
+        double fault must surface as an error/telemetry event, never as
+        silent delegation to a dead unit.
+        """
+        if self.terminal:
+            raise EquipmentError(f"{self.name}: terminal (both units failed)")
         return self.active.behaviour()
 
     def load(self, design_name: str) -> None:
         """Load a design on the active unit (spare stays cold)."""
         self.active.load(design_name)
+        self._last_design = design_name
+
+    def record_design(self, design_name: str) -> None:
+        """Note a personality loaded on the active unit by an external
+        service (e.g. the §3.2 reconfiguration manager driving the unit
+        directly), so a later failover carries it to the standby."""
         self._last_design = design_name
 
     def mark_unit_failed(self, unit: ReconfigurableEquipment) -> None:
@@ -80,6 +104,11 @@ class RedundantEquipment:
         """
         standby = self.spare if self.active is self.primary else self.primary
         if self.unit_failed(standby):
+            # terminal only when the active side is also gone -- a
+            # commanded failover away from a *healthy* active unit onto a
+            # dead spare is refused, not a double fault
+            if self.unit_failed(self.active) or not self.active.operational:
+                self.terminal = True
             raise EquipmentError(
                 f"{self.name}: no healthy standby (both units failed)"
             )
@@ -102,6 +131,16 @@ class FailoverProcess:
     an essential bit, latch-up power-down, ...).  When the failure is
     transient (configuration corruption), the standby takes over and the
     corrupted unit remains available for a later recovery.
+
+    When a ``watchdog`` (a
+    :class:`~repro.robustness.watchdog.SafeModeWatchdog`) is supplied
+    the process owns the hand-off protocol itself: it **suspends**
+    watchdog escalation for the pair while it is the recovery authority,
+    and on an *unrecoverable* double fault it resumes monitoring and
+    latches the equipment into terminal safe mode
+    (``latch(..., load_golden=False)`` -- a dead device cannot boot a
+    golden image).  Callers therefore never need to pair
+    ``watchdog.suspend``/``resume`` calls by hand.
     """
 
     def __init__(
@@ -109,13 +148,18 @@ class FailoverProcess:
         sim: Simulator,
         pair: RedundantEquipment,
         check_period: float = 60.0,
+        watchdog=None,
     ) -> None:
         if check_period <= 0:
             raise ValueError("check_period must be positive")
         self.sim = sim
         self.pair = pair
         self.check_period = check_period
+        self.watchdog = watchdog
         self.events: list[tuple[float, str]] = []
+        self._probe = _obs_probe("core.redundancy", pair=pair.name)
+        if watchdog is not None:
+            watchdog.suspend(pair.name)
         self.process = sim.process(self._run(), name=f"failover-{pair.name}")
 
     def _run(self):
@@ -125,6 +169,30 @@ class FailoverProcess:
                 try:
                     unit = self.pair.failover()
                     self.events.append((self.sim.now, f"failover->{unit.name}"))
+                    p = self._probe
+                    if p is not None:
+                        p.count("failovers")
+                        p.event(
+                            "redundancy.failover",
+                            pair=self.pair.name,
+                            unit=unit.name,
+                        )
                 except EquipmentError as exc:
                     self.events.append((self.sim.now, f"unrecoverable: {exc}"))
+                    p = self._probe
+                    if p is not None:
+                        p.count("unrecoverable")
+                        p.event(
+                            "redundancy.unrecoverable",
+                            pair=self.pair.name,
+                            error=str(exc),
+                        )
+                    wd = self.watchdog
+                    if wd is not None:
+                        wd.resume(self.pair.name)
+                        wd.latch(
+                            self.pair.name,
+                            reason=f"redundancy exhausted: {exc}",
+                            load_golden=False,
+                        )
                     return

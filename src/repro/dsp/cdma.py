@@ -21,8 +21,8 @@ import numpy as np
 from scipy.signal import fftconvolve
 
 from .filters import srrc, upsample
-from .modem import PskModem
-from .carrier import data_aided_phase
+from .modem import PskModem, estimate_snr_m2m4
+from .carrier import carrier_lock_metric, data_aided_phase
 
 __all__ = [
     "m_sequence",
@@ -458,12 +458,18 @@ class CdmaModem:
         phase = data_aided_phase(symbols[:npil], self.pilot)
         data = symbols[npil:] * np.exp(-1j * phase)
         bits = self.psk.demodulate_hard(data)[:num_bits]
+        # acquisition peak-to-floor ratio doubles as the CDMA lock metric
+        acq_metric = float(acq.metric / max(acq.mean_level, 1e-30))
         return {
             "bits": bits,
             "symbols": data,
             "acquisition": acq,
             "phase": phase,
             "dll_tau": np.asarray(dll.tau_history),
+            # per-burst health diagnostics consumed by repro.robustness.fdir
+            "acq_metric": acq_metric,
+            "carrier_lock": carrier_lock_metric(data, self.psk.order),
+            "snr_db": estimate_snr_m2m4(data) if len(data) >= 8 else None,
         }
 
     def receive_rake(

@@ -16,6 +16,7 @@ __all__ = [
     "esn0_from_ebn0",
     "count_bit_errors",
     "ber",
+    "estimate_snr_m2m4",
     "qfunc",
     "theoretical_ber_bpsk",
 ]
@@ -73,6 +74,40 @@ def ber(a: np.ndarray, b: np.ndarray) -> float:
     if a.size == 0:
         return 0.0
     return count_bit_errors(a, b) / a.size
+
+
+def estimate_snr_m2m4(symbols: np.ndarray, max_snr_db: float = 40.0) -> float:
+    """Blind M2M4 SNR estimate [dB] for constant-modulus (PSK) symbols.
+
+    The classic second/fourth moment estimator [Pauluzzi & Beaulieu,
+    IEEE Trans. Comm. 2000]: with ``M2 = E|y|^2`` and ``M4 = E|y|^4``
+    and a constant-modulus signal in complex AWGN,
+
+    ``S = sqrt(2 M2^2 - M4)``, ``N = M2 - S``, ``SNR = S / N``.
+
+    It needs no pilots or decisions, which makes it usable as a
+    *health* metric while the carrier may be unlocked: pure noise (or a
+    garbage burst) drives the estimate towards ``-inf``/very low values.
+    The return value is clamped to ``[-max_snr_db, max_snr_db]`` so the
+    estimator never overflows telemetry on degenerate inputs.
+    """
+    y = np.asarray(symbols)
+    if y.size < 8:
+        raise ValueError("need at least 8 symbols for an SNR estimate")
+    p = np.abs(y) ** 2
+    m2 = float(np.mean(p))
+    m4 = float(np.mean(p**2))
+    if m2 <= 0.0:
+        return -max_snr_db
+    arg = 2.0 * m2 * m2 - m4
+    s = np.sqrt(arg) if arg > 0.0 else 0.0
+    n = m2 - s
+    if s <= 0.0:
+        return -max_snr_db
+    if n <= 0.0:
+        return max_snr_db
+    snr_db = 10.0 * float(np.log10(s / n))
+    return float(np.clip(snr_db, -max_snr_db, max_snr_db))
 
 
 def _gray_psk_constellation(m: int) -> tuple[np.ndarray, np.ndarray]:

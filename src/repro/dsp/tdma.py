@@ -20,9 +20,9 @@ import numpy as np
 from scipy.signal import fftconvolve
 
 from .filters import srrc, upsample
-from .modem import PskModem
-from .carrier import data_aided_phase, frequency_estimate
-from .timing import GardnerLoop, oerder_meyr_recover
+from .modem import PskModem, estimate_snr_m2m4
+from .carrier import carrier_lock_metric, data_aided_phase, frequency_estimate
+from .timing import GardnerLoop, oerder_meyr_recover, timing_lock_metric
 
 __all__ = [
     "BurstFormat",
@@ -313,6 +313,10 @@ class TdmaModem:
             "uw_metric": uw_metric,
             "uw_position": pos,
             "phase": phase,
+            # per-burst health diagnostics consumed by repro.robustness.fdir
+            "timing_lock": timing_lock_metric(mf, self.sps),
+            "carrier_lock": carrier_lock_metric(payload, self.psk.order),
+            "snr_db": estimate_snr_m2m4(payload),
         }
         out.update(tdiag)
         return out

@@ -322,9 +322,9 @@ def _dead_equipment_driver(world: ChaosWorld, scenario: "ChaosScenario", rng):
     # record the carried personality on the pair (failover re-renders it
     # onto the spare from _last_design) and hand recovery authority over:
     # the redundancy layer, not the watchdog, owns this failure mode.
+    # FailoverProcess suspends/resumes the watchdog itself.
     pair.load(primary.loaded_design)
-    world.watchdog.suspend(primary.name)
-    FailoverProcess(world.sim, pair, check_period=10.0)
+    FailoverProcess(world.sim, pair, check_period=10.0, watchdog=world.watchdog)
     yield world.sim.timeout(25.0)
     pair.mark_unit_failed(primary)  # permanent destructive failure (§4.2)
     yield world.sim.timeout(60.0)  # health monitor cadence covers this
@@ -543,7 +543,13 @@ class ChaosCampaign:
         duplicates = len(tm_ids) - len(set(tm_ids))
         state = self._payload_state(world, box)
         safe = tuple(sorted(world.watchdog.safe_mode))
-        golden_ok = all(e.get("loaded") for e in world.watchdog.entries) if safe else True
+        # terminal latches (double fault: both units dead) legitimately
+        # skip the golden load -- only non-terminal entries must load
+        golden_ok = (
+            all(e.get("loaded") or e.get("terminal") for e in world.watchdog.entries)
+            if safe
+            else True
+        )
         operational = bool(
             box.get(
                 "operational_override",

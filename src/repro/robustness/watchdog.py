@@ -156,7 +156,26 @@ class SafeModeWatchdog:
         return None
 
     # -- the escalation ----------------------------------------------------
-    def _enter_safe_mode(self, equipment_name: str, reason: str) -> dict:
+    def latch(
+        self, equipment_name: str, reason: str, load_golden: bool = True
+    ) -> dict:
+        """Latch one equipment into safe mode from an external authority.
+
+        Used by recovery machinery that has *already* concluded the unit
+        is unrecoverable -- e.g. a
+        :class:`~repro.core.redundancy.FailoverProcess` whose spare also
+        failed.  ``load_golden=False`` skips the golden-image load (a
+        dead device cannot be reloaded); the entry is then tagged
+        ``terminal`` so telemetry and the chaos invariants can tell a
+        "parked on golden" latch from a "hardware is gone" latch.
+        """
+        if equipment_name in self.safe_mode:
+            return self.safe_mode[equipment_name]
+        return self._enter_safe_mode(equipment_name, reason, load_golden=load_golden)
+
+    def _enter_safe_mode(
+        self, equipment_name: str, reason: str, load_golden: bool = True
+    ) -> dict:
         """Load the golden image and latch the equipment into safe mode."""
         golden = self.golden.get(equipment_name)
         eq = self.controller.equipments.get(equipment_name)
@@ -167,7 +186,10 @@ class SafeModeWatchdog:
             "loaded": False,
             "source": None,
         }
-        if eq is not None and golden is not None:
+        if not load_golden:
+            info["terminal"] = True
+            info["error"] = "terminal fault: golden load skipped"
+        elif eq is not None and golden is not None:
             # prefer the library copy (§3.2's on-board files library)...
             bitstream = None
             try:
@@ -201,6 +223,8 @@ class SafeModeWatchdog:
             p.count("safe_mode_entries")
             if info["loaded"]:
                 p.count("golden_loads")
+            if info.get("terminal"):
+                p.count("terminal_latches")
             p.event(
                 "watchdog.safe_mode",
                 equipment=equipment_name,
@@ -208,6 +232,7 @@ class SafeModeWatchdog:
                 golden=golden,
                 loaded=info["loaded"],
                 source=info["source"],
+                terminal=bool(info.get("terminal", False)),
             )
         return info
 

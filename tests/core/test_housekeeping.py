@@ -109,6 +109,32 @@ class TestValidationProcess:
         sim.run(until=7200.0)
         assert log.validation_failures > 0
 
+    def test_notify_hook_feeds_fdir(self):
+        """Each per-equipment verdict reaches the notify callable."""
+        sim = Simulator()
+        pl = booted_payload()
+        seen = []
+        ValidationProcess(
+            sim, pl.obc, period=3600.0, notify=lambda name, ok: seen.append((name, ok))
+        )
+        pl.demods[0].fpga.upset_bits(np.array([1, 2, 3]))
+        sim.run(until=3600.0)
+        assert ("demod0", False) in seen
+        assert (pl.decoder.name, True) in seen
+
+    def test_notify_hook_errors_are_swallowed(self):
+        sim = Simulator()
+        pl = booted_payload()
+        log = HousekeepingLog()
+
+        def bomb(name, ok):
+            raise RuntimeError("consumer bug")
+
+        vp = ValidationProcess(sim, pl.obc, period=3600.0, log=log, notify=bomb)
+        sim.run(until=DAY)
+        assert vp.process.is_alive  # housekeeping survived the consumer
+        assert log.validations > 0
+
     def test_availability_accounting(self):
         sim = Simulator()
         pl = RegenerativePayload(PayloadConfig(num_carriers=1, **SMALL))

@@ -6,8 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.linkbudget import (
+    cn_for_ber,
     compare_payloads,
     regenerative_ber,
+    regenerative_margin_db,
+    shared_uplink_cn,
     transparent_ber,
     transparent_cn,
 )
@@ -77,3 +80,87 @@ class TestPaperClaim:
         c = compare_payloads(up, down)
         assert c.regenerative_ber <= c.transparent_ber * 1.0000001
         assert 0.0 <= c.regenerative_ber <= 0.5
+
+
+class TestCnForBer:
+    def test_inverts_theoretical_ber(self):
+        for cn in (4.0, 8.0, 12.0):
+            ber = theoretical_ber_bpsk(cn)
+            assert np.isclose(cn_for_ber(ber), cn, atol=1e-9)
+
+    def test_monotone_decreasing_in_ber(self):
+        assert cn_for_ber(1e-6) > cn_for_ber(1e-4) > cn_for_ber(1e-2)
+
+    def test_domain_edges_rejected(self):
+        for bad in (0.0, 0.5, 1.0, -1e-3):
+            with pytest.raises(ValueError):
+                cn_for_ber(bad)
+
+    @given(st.floats(min_value=1e-9, max_value=0.4))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, ber):
+        assert np.isclose(theoretical_ber_bpsk(cn_for_ber(ber)), ber, rtol=1e-6)
+
+
+class TestRegenerativeMargin:
+    def test_margin_tracks_uplink_db_for_db(self):
+        """Above threshold, one extra uplink dB is one extra margin dB."""
+        m9 = regenerative_margin_db(9.0, 16.0, 1e-4)
+        m10 = regenerative_margin_db(10.0, 16.0, 1e-4)
+        assert np.isclose(m10 - m9, 1.0)
+
+    def test_sign_matches_ber_target(self):
+        for up in (6.0, 8.0, 10.0, 12.0):
+            margin = regenerative_margin_db(up, 16.0, 1e-4)
+            meets = regenerative_ber(up, 16.0) <= 1e-4
+            assert (margin >= 0.0) == meets
+
+    def test_zero_margin_is_the_threshold(self):
+        m = regenerative_margin_db(10.0, 16.0, 1e-4)
+        at_threshold = 10.0 - m
+        assert np.isclose(
+            regenerative_ber(at_threshold, 16.0), 1e-4, rtol=1e-6
+        )
+
+    def test_hopeless_downlink_gives_negative_infinity(self):
+        """Downlink alone violates the target: no uplink margin exists."""
+        assert regenerative_margin_db(20.0, 0.0, 1e-4) == float("-inf")
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            regenerative_margin_db(10.0, 16.0, 0.0)
+        with pytest.raises(ValueError):
+            regenerative_margin_db(10.0, 16.0, 0.5)
+
+
+class TestSharedUplinkCn:
+    def test_all_active_clear_sky_is_base(self):
+        assert np.isclose(shared_uplink_cn(12.0, 0.0, 3, 3), 12.0)
+
+    def test_shedding_concentrates_power(self):
+        assert np.isclose(
+            shared_uplink_cn(12.0, 0.0, 3, 1), 12.0 + 10 * np.log10(3.0)
+        )
+        assert np.isclose(
+            shared_uplink_cn(12.0, 0.0, 3, 2), 12.0 + 10 * np.log10(1.5)
+        )
+
+    def test_fade_subtracts(self):
+        assert np.isclose(shared_uplink_cn(12.0, 5.0, 3, 3), 7.0)
+
+    def test_concentration_can_offset_fade(self):
+        """Shedding down to one carrier buys back a 4 dB fade and more."""
+        faded_full = shared_uplink_cn(12.0, 4.0, 3, 3)
+        faded_shed = shared_uplink_cn(12.0, 4.0, 3, 1)
+        assert faded_full < 12.0 < faded_shed
+        assert faded_shed - faded_full == pytest.approx(10 * np.log10(3.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shared_uplink_cn(12.0, 0.0, 0, 1)
+        with pytest.raises(ValueError):
+            shared_uplink_cn(12.0, 0.0, 3, 0)
+        with pytest.raises(ValueError):
+            shared_uplink_cn(12.0, 0.0, 3, 4)
+        with pytest.raises(ValueError):
+            shared_uplink_cn(12.0, -1.0, 3, 3)

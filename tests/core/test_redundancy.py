@@ -138,3 +138,106 @@ class TestFailoverProcess:
         sim = Simulator()
         with pytest.raises(ValueError):
             FailoverProcess(sim, make_pair(), check_period=0.0)
+
+    def test_reentry_after_completed_failover(self):
+        """The process keeps watching: a second transient fault on the
+        spare fails back to the (rewritten, healthy) primary."""
+        sim = Simulator()
+        pair = make_pair()
+        watch = FailoverProcess(sim, pair, check_period=60.0)
+
+        def strikes(sim):
+            yield sim.timeout(100.0)
+            pair.primary.fpga.upset_bits(np.array([1]))
+            yield sim.timeout(300.0)
+            pair.spare.fpga.upset_bits(np.array([1]))
+
+        sim.process(strikes(sim))
+        sim.run(until=1000.0)
+        assert pair.failovers == 2
+        assert pair.active is pair.primary
+        assert pair.operational  # failback rewrote the corrupted config
+        assert watch.process.is_alive  # still on duty
+        assert len(watch.events) == 2
+
+
+class _WatchdogStub:
+    """Records the suspend/resume/latch protocol calls."""
+
+    def __init__(self):
+        self.calls = []
+
+    def suspend(self, name):
+        self.calls.append(("suspend", name))
+
+    def resume(self, name):
+        self.calls.append(("resume", name))
+
+    def latch(self, name, reason="", load_golden=True):
+        self.calls.append(("latch", name, load_golden))
+        return {"reason": reason}
+
+
+class TestTerminalDoubleFault:
+    def test_terminal_flag_and_behaviour_error(self):
+        pair = make_pair()
+        pair.mark_unit_failed(pair.spare)
+        pair.mark_unit_failed(pair.primary)
+        with pytest.raises(EquipmentError):
+            pair.failover()
+        assert pair.terminal
+        assert not pair.operational
+        with pytest.raises(EquipmentError):
+            pair.behaviour()  # never silently delegates to a dead unit
+
+    def test_healthy_active_dead_spare_is_not_terminal(self):
+        """A commanded failover onto a dead spare is refused, but the
+        healthy active unit keeps the pair alive."""
+        pair = make_pair()
+        pair.mark_unit_failed(pair.spare)
+        with pytest.raises(EquipmentError):
+            pair.failover()
+        assert not pair.terminal
+        assert pair.operational
+        pair.behaviour()  # still serves
+
+    def test_record_design_carries_over_externally_loaded_personality(self):
+        pair = make_pair()
+        # an external service loaded a new personality on the unit itself
+        pair.active.load("modem.tdma8")
+        pair.record_design("modem.tdma8")
+        pair.mark_unit_failed(pair.primary)
+        pair.failover()
+        assert pair.loaded_design == "modem.tdma8"
+
+
+class TestFailoverWatchdogWiring:
+    def test_suspends_on_construction(self):
+        sim = Simulator()
+        pair = make_pair()
+        wd = _WatchdogStub()
+        FailoverProcess(sim, pair, check_period=60.0, watchdog=wd)
+        assert wd.calls == [("suspend", "demod0")]
+
+    def test_unrecoverable_resumes_and_latches_terminal(self):
+        sim = Simulator()
+        pair = make_pair()
+        wd = _WatchdogStub()
+        FailoverProcess(sim, pair, check_period=60.0, watchdog=wd)
+        pair.mark_unit_failed(pair.spare)
+        pair.primary.fpga.upset_bits(np.array([1]))
+        pair.mark_unit_failed(pair.primary)
+        sim.run(until=600.0)
+        assert ("resume", "demod0") in wd.calls
+        # dead hardware: the latch must not try to boot a golden image
+        assert ("latch", "demod0", False) in wd.calls
+
+    def test_successful_failover_keeps_watchdog_suspended(self):
+        sim = Simulator()
+        pair = make_pair()
+        wd = _WatchdogStub()
+        FailoverProcess(sim, pair, check_period=60.0, watchdog=wd)
+        pair.primary.fpga.upset_bits(np.array([1]))
+        sim.run(until=600.0)
+        assert pair.active is pair.spare
+        assert all(c[0] == "suspend" for c in wd.calls)

@@ -1,0 +1,125 @@
+"""Traffic-plane chaos acceptance: scenario x seed sweep, zero violations."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.robustness.fdir.chaos import (
+    TrafficChaosCampaign,
+    build_traffic_world,
+    default_traffic_scenarios,
+    violations,
+)
+
+pytestmark = pytest.mark.fdir
+
+
+def scenario(name):
+    matches = [s for s in default_traffic_scenarios() if s.name == name]
+    assert matches, f"no scenario {name!r}"
+    return matches[0]
+
+
+class TestWorld:
+    def test_world_is_fully_wired(self):
+        w = build_traffic_world(seed=1)
+        assert len(w.pairs) == 3
+        assert all(p.spare.loaded_design is None for p in w.pairs)
+        assert w.payload.decoder.loaded_design == "decod.conv"
+        assert w.payload.health is w.bank
+        # the library holds every personality the ladder may need
+        for design in ("modem.tdma", "modem.tdma.robust", "decod.conv"):
+            assert w.payload.obc.library.fetch(design) is not None
+
+    def test_one_coded_block_exactly_fills_a_burst(self):
+        w = build_traffic_world(seed=1)
+        chain = w._ground_chain
+        modem = w.ground_modem("modem.tdma")
+        assert chain.physical_bits == modem.bits_per_burst
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        c = TrafficChaosCampaign([scenario("lock-loss")])
+        a = c.run_one(scenario("lock-loss"), 42)
+        b = c.run_one(scenario("lock-loss"), 42)
+        assert a.actions == b.actions
+        assert a.delivered == b.delivered
+        assert a.frame_ok_history == b.frame_ok_history
+
+
+class TestSingleScenarios:
+    """One seed per scenario: fast, failure messages point at the class."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [s.name for s in default_traffic_scenarios()],
+    )
+    def test_scenario_holds_invariants(self, name):
+        sc = scenario(name)
+        campaign = TrafficChaosCampaign([sc])
+        outcome = campaign.run_one(sc, 1234)
+        assert violations(outcome, sc) == []
+
+    def test_detection_is_prompt(self):
+        sc = scenario("lock-loss")
+        outcome = TrafficChaosCampaign([sc]).run_one(sc, 7)
+        assert outcome.detection_latency is not None
+        assert outcome.detection_latency <= sc.frames // 4
+
+    def test_double_fault_latches_terminal_safe_mode(self):
+        sc = scenario("double-fault")
+        outcome = TrafficChaosCampaign([sc]).run_one(sc, 7)
+        assert outcome.terminal_carriers == [0]
+        assert outcome.safe_mode == ["demod0"]
+        assert outcome.final_active == 2
+
+    def test_fade_ramp_sheds_and_restores(self):
+        sc = scenario("fade-ramp")
+        outcome = TrafficChaosCampaign([sc]).run_one(sc, 7)
+        kinds = [k for k, _, _ in outcome.policy_events]
+        assert "shed" in kinds and "restore" in kinds
+        assert outcome.final_active == 3
+
+    def test_nominal_control_delivers_everything(self):
+        sc = scenario("nominal")
+        outcome = TrafficChaosCampaign([sc]).run_one(sc, 7)
+        assert outcome.delivered == outcome.attempted
+        assert outcome.corrupt_deliveries == 0
+        assert not outcome.actions
+
+
+class TestObservableTrace:
+    def test_fault_to_recovery_visible_in_trace(self):
+        """Injected fault -> detection -> recovery as deterministic events."""
+        sc = scenario("lock-loss")
+        with obs.session() as (_reg, tracer):
+            TrafficChaosCampaign([sc]).run_one(sc, 7)
+            events = [e.kind for e in tracer.events()]
+        first_trip = events.index("fdir.trip")
+        action = events.index("fdir.action")
+        clear = events.index("fdir.clear")
+        recovered = events.index("fdir.recovered")
+        assert first_trip < action < recovered
+        assert first_trip < clear
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+class TestAcceptanceSweep:
+    def test_all_scenarios_all_seeds_zero_violations(self):
+        """The ISSUE acceptance gate: >= 6 fault scenarios x 5 seeds."""
+        campaign = TrafficChaosCampaign()
+        assert len(campaign.scenarios) >= 7  # 7 fault classes + control
+        campaign.run(seeds=[101, 202, 303, 404, 505])
+        bad = campaign.all_violations()
+        assert bad == [], "\n".join(
+            f"{s}/{seed}: {msg}" for s, seed, msg in bad
+        )
+        # and the sweep actually moved data
+        total = sum(o.delivered for o in campaign.outcomes)
+        assert total > 0
+        assert all(o.completed for o in campaign.outcomes)
+        assert np.mean(
+            [o.delivery_rate for o in campaign.outcomes]
+        ) > 0.7

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..caching import cached_design, freeze
+
 __all__ = ["BlockInterleaver", "rate_match", "rate_dematch", "UMTS_2ND_PERM"]
 
 #: TS 25.212 table 7: inter-column permutation of the 2nd interleaver (C=30).
@@ -39,44 +41,59 @@ class BlockInterleaver:
             raise ValueError("permutation must be a permutation of range(columns)")
         self.columns = columns
         self.permutation = tuple(permutation)
+        self._idx_cache: dict[int, np.ndarray] = {}
 
     def indices(self, length: int) -> np.ndarray:
-        """Permutation indices: output[i] = input[indices[i]]."""
+        """Permutation indices: output[i] = input[indices[i]].
+
+        Memoized per block length (the payload re-interleaves the same
+        block size for every burst); the cached array is read-only.
+        """
+        idx = self._idx_cache.get(length)
+        if idx is not None:
+            return idx
         c = self.columns
         rows = -(-length // c)  # ceil
         padded = rows * c
         mat = np.arange(padded).reshape(rows, c)
         mat = mat[:, list(self.permutation)]
         flat = mat.T.ravel()
-        return flat[flat < length]
+        idx = flat[flat < length]
+        idx.setflags(write=False)
+        if len(self._idx_cache) < 64:
+            self._idx_cache[length] = idx
+        return idx
 
     def interleave(self, bits: np.ndarray) -> np.ndarray:
-        """Apply the interleaver to an array."""
+        """Apply the interleaver to an array (along the last axis)."""
         bits = np.asarray(bits)
-        return bits[self.indices(len(bits))]
+        return bits[..., self.indices(bits.shape[-1])]
 
     def deinterleave(self, bits: np.ndarray) -> np.ndarray:
-        """Invert :meth:`interleave`."""
+        """Invert :meth:`interleave` (along the last axis)."""
         bits = np.asarray(bits)
-        idx = self.indices(len(bits))
+        idx = self.indices(bits.shape[-1])
         out = np.empty_like(bits)
-        out[idx] = bits
+        out[..., idx] = bits
         return out
 
 
+@cached_design("coding.rm_pattern", maxsize=64)
 def _rm_pattern(n_in: int, n_out: int) -> tuple[np.ndarray, bool]:
     """Rate-matching selection per the 25.212 error-accumulation loop.
 
     Returns ``(indices, puncturing)``: when puncturing, ``indices`` are
     the positions of *kept* input bits (length ``n_out``); when
     repeating, ``indices`` are input positions emitted in order with
-    repeats (length ``n_out``).
+    repeats (length ``n_out``).  Cached process-wide (the
+    error-accumulation loop is pure Python and runs once per distinct
+    ``(n_in, n_out)``); the index array is read-only.
     """
     if n_in < 1 or n_out < 1:
         raise ValueError("block sizes must be >= 1")
     delta = n_out - n_in
     if delta == 0:
-        return np.arange(n_in), False
+        return freeze(np.arange(n_in)), False
     if delta < 0:
         # puncture |delta| bits
         e_ini = n_in
@@ -92,7 +109,7 @@ def _rm_pattern(n_in: int, n_out: int) -> tuple[np.ndarray, bool]:
         idx = np.nonzero(keep)[0]
         if len(idx) != n_out:
             raise AssertionError("puncturing pattern size mismatch")
-        return idx, True
+        return freeze(idx), True
     # repetition of delta bits
     e_ini = n_in
     e_plus = 2 * n_in
@@ -108,7 +125,7 @@ def _rm_pattern(n_in: int, n_out: int) -> tuple[np.ndarray, bool]:
     idx = np.asarray(out[:n_out])
     if len(idx) != n_out:
         raise AssertionError("repetition pattern size mismatch")
-    return idx, False
+    return freeze(idx), False
 
 
 def rate_match(bits: np.ndarray, n_out: int) -> np.ndarray:
@@ -123,10 +140,19 @@ def rate_dematch(values: np.ndarray, n_in: int) -> np.ndarray:
 
     Punctured positions receive LLR 0 (erasure); repeated positions are
     soft-combined (summed), which is the optimal combining rule for
-    independent AWGN observations.
+    independent AWGN observations.  Batch-aware: a ``(batch, n_out)``
+    input returns a ``(batch, n_in)`` array, bit-identical to
+    de-matching each row (the duplicate-index accumulation of
+    ``np.add.at`` runs in the same per-row order either way).
     """
     values = np.asarray(values, dtype=np.float64)
-    idx, _ = _rm_pattern(n_in, len(values))
-    out = np.zeros(n_in)
-    np.add.at(out, idx, values)
+    if values.ndim not in (1, 2):
+        raise ValueError("rate_dematch expects a 1-D or (batch, n) array")
+    idx, _ = _rm_pattern(n_in, values.shape[-1])
+    if values.ndim == 1:
+        out = np.zeros(n_in)
+        np.add.at(out, idx, values)
+        return out
+    out = np.zeros((values.shape[0], n_in))
+    np.add.at(out, (slice(None), idx), values)
     return out

@@ -10,12 +10,20 @@ implements:
 - the TS 25.212 internal interleaver (prime-based intra-row permutations
   with least-primitive-root generators and the R5/R10/R20 inter-row
   patterns);
-- an iterative max-log-MAP (BCJR) decoder with extrinsic exchange.
+- an iterative max-log-MAP (BCJR) decoder with extrinsic exchange,
+  batched over a leading block axis: :meth:`TurboCode.decode_batch`
+  runs every alpha/beta/gamma recursion across a ``(batch, n)`` stack
+  of code blocks at once, bit-identically to looping
+  :meth:`TurboCode.decode` (the scalar path delegates to the batched
+  kernel with ``batch == 1``).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..caching import cached_design, freeze
+from ..obs.probes import probe
 
 __all__ = ["TurboCode", "umts_turbo_interleaver"]
 
@@ -68,11 +76,15 @@ def _gcd(a: int, b: int) -> int:
     return a
 
 
+@cached_design("coding.turbo_interleaver", maxsize=64)
 def umts_turbo_interleaver(k: int) -> np.ndarray:
     """TS 25.212 §4.2.3.2.3 internal interleaver permutation.
 
-    Returns an index array ``pi`` of length ``k`` such that the
-    interleaved sequence is ``x[pi]``.  Valid for ``40 <= k <= 5114``.
+    Returns a **read-only** index array ``pi`` of length ``k`` such
+    that the interleaved sequence is ``x[pi]``.  Valid for ``40 <= k <=
+    5114``.  Cached process-wide (the construction walks the prime /
+    primitive-root tables in pure Python); every :class:`TurboCode`
+    with the same block length shares one frozen permutation.
     """
     if not 40 <= k <= 5114:
         raise ValueError("UMTS turbo interleaver defined for 40 <= K <= 5114")
@@ -153,7 +165,7 @@ def umts_turbo_interleaver(k: int) -> np.ndarray:
         intra[i] = mat[i, u[i]]
     inter = intra[t, :]
     out = inter.T.ravel()
-    return out[out < k]
+    return freeze(out[out < k])
 
 
 # ---------------------------------------------------------------------------
@@ -191,6 +203,22 @@ _PAR = np.empty((_NSTATES, 2), dtype=np.int64)
 for _s in range(_NSTATES):
     for _b in (0, 1):
         _NEXT[_s, _b], _PAR[_s, _b] = _rsc_step(_s, _b)
+
+# Predecessor tables for the batched alpha recursion: each RSC state
+# has exactly two (state, bit) predecessors, so the scatter-max
+# ``np.maximum.at(new, _NEXT.ravel(), cand.ravel())`` is equivalent to
+# a gather-max over the two flat ``(state, bit)`` candidate indices
+# (max is exact and order-independent, so the two forms are
+# bit-identical).
+_PRED_FLAT = np.empty((_NSTATES, 2), dtype=np.int64)
+_pred_count = np.zeros(_NSTATES, dtype=np.int64)
+for _s in range(_NSTATES):
+    for _b in (0, 1):
+        _ns = int(_NEXT[_s, _b])
+        _PRED_FLAT[_ns, _pred_count[_ns]] = 2 * _s + _b
+        _pred_count[_ns] += 1
+assert np.all(_pred_count == 2), "RSC trellis is not a 2-predecessor butterfly"
+del _pred_count
 
 
 class TurboCode:
@@ -265,6 +293,64 @@ class TurboCode:
 
     # -- decoding ----------------------------------------------------------
     @staticmethod
+    def _siso_batch(
+        lsys: np.ndarray,
+        lpar: np.ndarray,
+        lapr: np.ndarray,
+        tail_sys: np.ndarray,
+        tail_par: np.ndarray,
+    ) -> np.ndarray:
+        """Batched max-log-MAP SISO for one terminated RSC constituent.
+
+        All inputs carry a leading batch axis: ``lsys``/``lpar``/
+        ``lapr`` are ``(batch, K)`` channel LLRs (positive = bit 0) and
+        ``tail_sys``/``tail_par`` are ``(batch, 3)``.  Returns the
+        ``(batch, K)`` extrinsic LLRs.  The alpha/beta recursions run
+        one trellis step at a time but across the whole batch and all
+        8 states at once; the per-bit LLR extraction is fully
+        vectorized over time *and* batch.
+        """
+        nb, k = lsys.shape
+        total = k + 3
+        # per-step (sys, par, apriori) with tail steps having no a priori
+        ls = np.concatenate([lsys, tail_sys], axis=1)  # (nb, total)
+        lp = np.concatenate([lpar, tail_par], axis=1)
+        la = np.concatenate([lapr, np.zeros((nb, 3))], axis=1)
+
+        # gamma[t, b, s, bit]: branch metric
+        # bit value mapping: 0 -> +1, 1 -> -1; metric = 0.5*(la+ls)*x + 0.5*lp*pv
+        xsign = np.array([1.0, -1.0])  # per input bit
+        psign = 1.0 - 2.0 * _PAR  # (8, 2)
+        half_in = (0.5 * (la + ls)).T  # (total, nb)
+        half_par = (0.5 * lp).T
+        gammas = (
+            half_in[:, :, None, None] * xsign[None, None, None, :]
+            + half_par[:, :, None, None] * psign[None, None, :, :]
+        )  # (total, nb, 8, 2)
+
+        alpha = np.full((total + 1, nb, _NSTATES), -np.inf)
+        alpha[0, :, 0] = 0.0
+        p0 = _PRED_FLAT[:, 0]
+        p1 = _PRED_FLAT[:, 1]
+        for t in range(total):
+            cand = (alpha[t][:, :, None] + gammas[t]).reshape(nb, 2 * _NSTATES)
+            # gather-max over the two (state, bit) predecessors; exactly
+            # the scatter-max over _NEXT, state by state
+            np.maximum(cand[:, p0], cand[:, p1], out=alpha[t + 1])
+
+        beta = np.full((total + 1, nb, _NSTATES), -np.inf)
+        beta[total, :, 0] = 0.0  # terminated
+        for t in range(total - 1, -1, -1):
+            # beta[t, s] = max_b gamma[t,s,b] + beta[t+1, next(s,b)]
+            beta[t] = np.max(gammas[t] + beta[t + 1][:, _NEXT], axis=2)
+
+        # LLR for data steps only, all steps at once
+        m = alpha[:k, :, :, None] + gammas[:k] + beta[1 : k + 1][:, :, _NEXT]
+        llr = m[..., 0].max(axis=2) - m[..., 1].max(axis=2)  # (k, nb)
+        # extrinsic: remove channel systematic and a priori
+        return llr.T - lsys - lapr
+
+    @staticmethod
     def _siso(
         lsys: np.ndarray,
         lpar: np.ndarray,
@@ -274,88 +360,84 @@ class TurboCode:
     ) -> np.ndarray:
         """Max-log-MAP SISO for one terminated RSC constituent.
 
-        Inputs are channel LLRs (positive = bit 0).  Returns the
-        extrinsic LLR for each of the K data bits.
+        Scalar convenience wrapper over :meth:`_siso_batch` (batch of
+        one), kept for API compatibility.
         """
-        k = len(lsys)
-        total = k + 3
-        # per-step (sys, par, apriori) with tail steps having no a priori
-        ls = np.concatenate([lsys, tail_sys])
-        lp = np.concatenate([lpar, tail_par])
-        la = np.concatenate([lapr, np.zeros(3)])
-
-        # gamma[t, s, b]: branch metric
-        # bit value mapping: 0 -> +1, 1 -> -1; metric = 0.5*(la+ls)*x + 0.5*lp*pv
-        xsign = np.array([1.0, -1.0])  # per input bit
-        psign = 1.0 - 2.0 * _PAR  # (8, 2)
-
-        alpha = np.full((total + 1, _NSTATES), -np.inf)
-        alpha[0, 0] = 0.0
-        gammas = np.empty((total, _NSTATES, 2))
-        for t in range(total):
-            g = 0.5 * (la[t] + ls[t]) * xsign[None, :] + 0.5 * lp[t] * psign
-            gammas[t] = g
-            cand = alpha[t][:, None] + g  # (8, 2)
-            nxt = _NEXT
-            new = np.full(_NSTATES, -np.inf)
-            np.maximum.at(new, nxt.ravel(), cand.ravel())
-            alpha[t + 1] = new
-
-        beta = np.full((total + 1, _NSTATES), -np.inf)
-        beta[total, 0] = 0.0  # terminated
-        for t in range(total - 1, -1, -1):
-            # beta[t, s] = max_b gamma[t,s,b] + beta[t+1, next(s,b)]
-            beta[t] = np.max(gammas[t] + beta[t + 1][_NEXT], axis=1)
-
-        # LLR for data steps only
-        llr = np.empty(k)
-        for t in range(k):
-            m = alpha[t][:, None] + gammas[t] + beta[t + 1][_NEXT]
-            m0 = m[:, 0].max()
-            m1 = m[:, 1].max()
-            llr[t] = m0 - m1
-        # extrinsic: remove channel systematic and a priori
-        return llr - lsys - lapr
+        return TurboCode._siso_batch(
+            lsys[None, :], lpar[None, :], lapr[None, :],
+            tail_sys[None, :], tail_par[None, :],
+        )[0]
 
     def decode(self, llr: np.ndarray, return_iterations: bool = False):
         """Iteratively decode channel LLRs (positive = bit 0).
 
         Returns hard bit decisions (and per-iteration decisions when
-        ``return_iterations`` is set).
+        ``return_iterations`` is set).  Delegates to
+        :meth:`decode_batch` with a batch of one, so scalar and batched
+        decoding share a single kernel and are bit-identical by
+        construction.
         """
         llr = np.asarray(llr, dtype=np.float64)
-        if len(llr) != self.encoded_length:
-            raise ValueError(
-                f"expected {self.encoded_length} LLRs, got {len(llr)}"
+        if llr.ndim != 1:
+            raise ValueError("decode expects a 1-D block; use decode_batch")
+        if return_iterations:
+            bits, history = self.decode_batch(
+                llr[None, :], return_iterations=True
             )
-        k = self.k
-        body = llr[: 3 * k]
-        tail = llr[3 * k :]
-        lsys = body[0::3]
-        lz1 = body[1::3]
-        lz2 = body[2::3]
-        t1s = tail[0:6:2]
-        t1p = tail[1:6:2]
-        t2s = tail[6:12:2]
-        t2p = tail[7:12:2]
+            return bits[0], [h[0] for h in history]
+        return self.decode_batch(llr[None, :])[0]
 
-        lsys_i = lsys[self.interleaver]
-        apr1 = np.zeros(k)
+    def decode_batch(self, llr: np.ndarray, return_iterations: bool = False):
+        """Batched iterative turbo decoding.
+
+        ``llr`` is a ``(batch, 3K + 12)`` stack of channel LLR blocks
+        (positive = bit 0); every SISO half-iteration runs across the
+        whole batch in one recursion.  Returns a ``(batch, K)`` uint8
+        array (plus a list of per-iteration ``(batch, K)`` decisions
+        when ``return_iterations`` is set), bit-identical to looping
+        :meth:`decode` over the rows.
+        """
+        llr = np.asarray(llr, dtype=np.float64)
+        if llr.ndim != 2:
+            raise ValueError(f"expected a (batch, n) array, got shape {llr.shape}")
+        if llr.shape[1] != self.encoded_length:
+            raise ValueError(
+                f"expected {self.encoded_length} LLRs per block, got {llr.shape[1]}"
+            )
+        nb = llr.shape[0]
+        k = self.k
+        body = llr[:, : 3 * k]
+        tail = llr[:, 3 * k :]
+        lsys = np.ascontiguousarray(body[:, 0::3])
+        lz1 = np.ascontiguousarray(body[:, 1::3])
+        lz2 = np.ascontiguousarray(body[:, 2::3])
+        t1s = tail[:, 0:6:2]
+        t1p = tail[:, 1:6:2]
+        t2s = tail[:, 6:12:2]
+        t2p = tail[:, 7:12:2]
+
+        lsys_i = lsys[:, self.interleaver]
+        apr1 = np.zeros((nb, k))
         history = []
-        ext2_de = np.zeros(k)
         for _ in range(self.iterations):
-            ext1 = self._siso(lsys, lz1, apr1, t1s, t1p)
+            ext1 = self._siso_batch(lsys, lz1, apr1, t1s, t1p)
             ext1 *= self.ext_scale
-            apr2 = ext1[self.interleaver]
-            ext2 = self._siso(lsys_i, lz2, apr2, t2s, t2p)
+            apr2 = ext1[:, self.interleaver]
+            ext2 = self._siso_batch(lsys_i, lz2, apr2, t2s, t2p)
             ext2 *= self.ext_scale
-            ext2_de = ext2[self.deinterleaver]
+            ext2_de = ext2[:, self.deinterleaver]
             apr1 = ext2_de
             if return_iterations:
                 post = lsys + ext1 + ext2_de
                 history.append((post < 0).astype(np.uint8))
         posterior = lsys + apr1 + ext1
         bits = (posterior < 0).astype(np.uint8)
+
+        p = probe("perf.turbo", k=str(k))
+        if p is not None:
+            p.count("batches")
+            p.count("blocks", nb)
+            p.count("bits", nb * k)
         if return_iterations:
             return bits, history
         return bits

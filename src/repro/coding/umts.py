@@ -144,21 +144,50 @@ class TransportChain:
         """Decode soft LLRs (positive = bit 0) back to a transport block.
 
         Returns ``{"bits", "crc_ok"}``; ``crc_ok`` is ``None`` when the
-        chain has no CRC.
+        chain has no CRC.  Delegates to :meth:`decode_batch` with a
+        batch of one, so scalar and batched chain decoding share one
+        kernel and are bit-identical by construction.
         """
         llr = np.asarray(llr, dtype=np.float64)
-        if len(llr) != self.physical_bits:
-            raise ValueError(f"expected {self.physical_bits} LLRs, got {len(llr)}")
+        if llr.ndim != 1:
+            raise ValueError("decode expects a 1-D block; use decode_batch")
+        out = self.decode_batch(llr[None, :])
+        crc_ok = out["crc_ok"]
+        return {
+            "bits": out["bits"][0],
+            "crc_ok": None if crc_ok is None else bool(crc_ok[0]),
+        }
+
+    def decode_batch(self, llr: np.ndarray) -> dict:
+        """Decode a ``(batch, physical_bits)`` stack of LLR blocks at once.
+
+        The deinterleave / rate-dematch stages are vectorized over the
+        batch axis and the channel decoder runs a single batched trellis
+        sweep (:meth:`ConvolutionalCode.decode_batch` /
+        :meth:`TurboCode.decode_batch`).  Returns ``{"bits", "crc_ok"}``
+        where ``bits`` is ``(batch, transport_block)`` and ``crc_ok`` a
+        boolean array (or ``None`` without CRC), bit-identical to
+        looping :meth:`decode` over the rows.
+        """
+        llr = np.asarray(llr, dtype=np.float64)
+        if llr.ndim != 2:
+            raise ValueError(f"expected a (batch, n) array, got shape {llr.shape}")
+        if llr.shape[1] != self.physical_bits:
+            raise ValueError(
+                f"expected {self.physical_bits} LLRs per block, got {llr.shape[1]}"
+            )
         deint = self._interleaver.deinterleave(llr)
         soft = rate_dematch(deint, self._coded_bits)
         if self.scheme is CodingScheme.NONE:
             msg = (soft < 0).astype(np.uint8)
         elif self.scheme is CodingScheme.CONVOLUTIONAL:
-            msg = self.conv_code.decode(soft, self._msg_bits, soft=True)
+            msg = self.conv_code.decode_batch(soft, self._msg_bits, soft=True)
         else:
-            msg = self.turbo.decode(soft)
+            msg = self.turbo.decode_batch(soft)
         crc_ok = None
         if self.crc:
-            crc_ok = self.crc.check(msg)
-            msg = msg[: -self.crc.width]
+            crc_ok = np.fromiter(
+                (self.crc.check(row) for row in msg), dtype=bool, count=len(msg)
+            )
+            msg = msg[:, : -self.crc.width]
         return {"bits": msg, "crc_ok": crc_ok}

@@ -23,6 +23,7 @@ from ..dsp.adc import Adc, Dac
 from ..dsp.beamforming import Dbfn
 from ..dsp.demux import PolyphaseChannelizer, multiplex_carriers
 from ..fpga.device import Fpga
+from ..obs.probes import probe
 from .equipment import ReconfigurableEquipment
 from .obc import OnBoardController, Telecommand, Telemetry
 from .registry import FunctionRegistry, default_registry
@@ -211,6 +212,7 @@ class RegenerativePayload:
         wideband: np.ndarray,
         bits_expected: Optional[List[int]] = None,
         beam: int = 0,
+        decode: bool = False,
     ) -> Dict[str, object]:
         """Run the Fig. 2 Rx chain on a wideband block.
 
@@ -221,7 +223,20 @@ class RegenerativePayload:
         beam; a full multi-beam payload instantiates one payload per
         beam or time-shares the bank).
 
-        Returns per-carrier demodulated bits plus chain diagnostics.
+        With ``decode=True`` the payload also regenerates every
+        carrier's transport block **in one batched decoder call**: each
+        successfully synchronized carrier's payload symbols are
+        soft-demapped (noise variance from the per-burst M2M4 SNR
+        estimate), the LLR blocks are stacked and fed through the
+        decoder personality's ``decode_batch`` via
+        :meth:`decode_blocks` -- the single-trellis-sweep hot path the
+        batching engine exists for.  Per-carrier diagnostics are
+        preserved, carriers that failed sync/equipment are *skipped*
+        (``decoded[k] is None``) so the FDIR health bank only sees CRC
+        outcomes for blocks that were really decoded.
+
+        Returns per-carrier demodulated bits plus chain diagnostics
+        (and ``decoded`` when requested).
         """
         cfg = self.config
         x = self.adc.convert(np.asarray(wideband))
@@ -267,7 +282,51 @@ class RegenerativePayload:
         if self.health is not None:
             for k, diag in enumerate(diags):
                 self.health.observe_burst(k, diag)
-        return {"bits": out_bits, "diagnostics": diags}
+        result: Dict[str, object] = {"bits": out_bits, "diagnostics": diags}
+        if decode:
+            result["decoded"] = self._decode_uplink_blocks(diags)
+        return result
+
+    def _decode_uplink_blocks(self, diags: List[dict]) -> List[Optional[dict]]:
+        """Batched regeneration of all carriers' transport blocks.
+
+        Soft-demaps each synchronized carrier's payload symbols, stacks
+        the LLR blocks, and runs one :meth:`decode_blocks` call.
+        Carriers without usable symbols (sync/equipment failure, or too
+        few bits for the chain's ``physical_bits``) yield ``None``.
+        """
+        chain = self.decoder.behaviour()
+        n_llr = int(getattr(chain, "physical_bits", 0))
+        decoded: List[Optional[dict]] = [None] * len(diags)
+        if n_llr <= 0:
+            return decoded
+        blocks: List[np.ndarray] = []
+        carriers: List[int] = []
+        for k, diag in enumerate(diags):
+            syms = diag.get("symbols")
+            if syms is None:
+                continue  # sync or equipment failure: nothing to decode
+            eq = self.demods[k]
+            psk = getattr(eq.behaviour(), "psk", None)
+            if psk is None or len(syms) * psk.bits_per_symbol < n_llr:
+                continue
+            # noise variance from the blind per-burst SNR estimate
+            es = float(np.mean(np.abs(syms) ** 2))
+            snr = 10.0 ** (float(diag.get("snr_db", 40.0)) / 10.0)
+            noise_var = max(es / max(snr, 1e-6), 1e-12)
+            llr = psk.demodulate_soft(syms, noise_var)[:n_llr]
+            blocks.append(llr)
+            carriers.append(k)
+        if not blocks:
+            return decoded
+        res = self.decode_blocks(np.stack(blocks), carriers=carriers)
+        crc = res["crc_ok"]
+        for i, k in enumerate(carriers):
+            decoded[k] = {
+                "bits": res["bits"][i],
+                "crc_ok": None if crc is None else bool(crc[i]),
+            }
+        return decoded
 
     def decode_block(self, llr: np.ndarray, carrier: Optional[int] = None) -> dict:
         """Run one transport block through the decoder personality.
@@ -278,6 +337,54 @@ class RegenerativePayload:
         result = self.decoder.behaviour().decode(llr)
         if self.health is not None and carrier is not None:
             self.health.observe_decode(carrier, bool(result.get("crc_ok")))
+        return result
+
+    def decode_blocks(
+        self, llrs: np.ndarray, carriers: Optional[List[int]] = None
+    ) -> dict:
+        """Run a ``(batch, physical_bits)`` stack of transport blocks
+        through the decoder personality in **one** batched call.
+
+        This is the payload's per-burst throughput hot path: all
+        carriers' LLR blocks share a single trellis sweep
+        (:meth:`repro.coding.TransportChain.decode_batch`) instead of
+        ``batch`` scalar decodes.  Falls back to looping ``decode`` for
+        personalities without a batched kernel.  ``carriers[i]``
+        attributes block ``i`` to an uplink carrier so the attached
+        health bank's CRC tracker sees each outcome (same FDIR gating
+        as :meth:`decode_block`).
+
+        Returns ``{"bits": (batch, transport_block), "crc_ok": bool
+        array or None}``.
+        """
+        llrs = np.asarray(llrs, dtype=np.float64)
+        if llrs.ndim != 2:
+            raise ValueError(f"expected a (batch, n) array, got shape {llrs.shape}")
+        if carriers is not None and len(carriers) != llrs.shape[0]:
+            raise ValueError("carriers must have one entry per block")
+        chain = self.decoder.behaviour()
+        if hasattr(chain, "decode_batch"):
+            result = chain.decode_batch(llrs)
+        else:  # foreign decoder personality: scalar fallback
+            rows = [chain.decode(row) for row in llrs]
+            crc_vals = [r.get("crc_ok") for r in rows]
+            result = {
+                "bits": np.stack([r["bits"] for r in rows]),
+                "crc_ok": (
+                    None
+                    if any(v is None for v in crc_vals)
+                    else np.asarray(crc_vals, dtype=bool)
+                ),
+            }
+        p = probe("perf.payload", stage="decode")
+        if p is not None:
+            p.count("decode_batches")
+            p.count("decode_blocks", llrs.shape[0])
+        if self.health is not None and carriers is not None:
+            crc = result.get("crc_ok")
+            for i, k in enumerate(carriers):
+                ok = bool(crc[i]) if crc is not None else False
+                self.health.observe_decode(k, ok)
         return result
 
     def route_packets(self, packets: List[bytes]) -> dict:

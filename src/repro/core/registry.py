@@ -103,8 +103,17 @@ def default_registry(
     tdma_burst: Optional[BurstFormat] = None,
     cdma_config: Optional[CdmaConfig] = None,
     transport_block: int = 244,
+    physical_bits: Optional[int] = None,
 ) -> FunctionRegistry:
     """The paper's five personalities.
+
+    ``physical_bits`` is forwarded to every decoder personality's
+    :class:`~repro.coding.TransportChain`: when set, rate matching
+    punctures/repeats each coded block to exactly that size, which is
+    how a transport block is fitted to the modem's burst capacity for
+    the end-to-end batched decode path
+    (:meth:`repro.core.payload.RegenerativePayload.process_uplink`
+    with ``decode=True``).
 
     Three waveform personalities:
 
@@ -152,7 +161,9 @@ def default_registry(
             kind="decoder",
             gates=5_000.0,  # CRC check + framing only
             factory=lambda: TransportChain(
-                CodingScheme.NONE, transport_block=transport_block
+                CodingScheme.NONE,
+                transport_block=transport_block,
+                physical_bits=physical_bits,
             ),
             description="uncoded transport channel (CRC only)",
         )
@@ -163,7 +174,9 @@ def default_registry(
             kind="decoder",
             gates=viterbi_decoder_gates(),
             factory=lambda: TransportChain(
-                CodingScheme.CONVOLUTIONAL, transport_block=transport_block
+                CodingScheme.CONVOLUTIONAL,
+                transport_block=transport_block,
+                physical_bits=physical_bits,
             ),
             description="UMTS K=9 convolutional code, Viterbi decoder",
         )
@@ -174,7 +187,9 @@ def default_registry(
             kind="decoder",
             gates=turbo_decoder_gates(),
             factory=lambda: TransportChain(
-                CodingScheme.TURBO, transport_block=transport_block
+                CodingScheme.TURBO,
+                transport_block=transport_block,
+                physical_bits=physical_bits,
             ),
             description="UMTS PCCC turbo code, max-log-MAP decoder",
         )

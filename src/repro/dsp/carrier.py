@@ -9,9 +9,11 @@ an FFT-based frequency estimator, and a decision-directed tracking loop.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
-from .timing import loop_gains
+from .timing import HISTORY_MAXLEN, loop_gains
 
 __all__ = [
     "vv_phase_estimate",
@@ -116,14 +118,22 @@ class DecisionDirectedLoop:
     points; the detector is ``Im{y * conj(decision)}``.
     """
 
-    def __init__(self, order: int = 4, bn_ts: float = 0.01, zeta: float = 0.7071):
+    def __init__(
+        self,
+        order: int = 4,
+        bn_ts: float = 0.01,
+        zeta: float = 0.7071,
+        history_maxlen: int = HISTORY_MAXLEN,
+    ):
         if order not in (2, 4, 8):
             raise ValueError("order must be 2, 4 or 8")
         self.order = order
         self.kp, self.ki = loop_gains(bn_ts, zeta, kd=1.0)
         self.phase = 0.0
         self.freq = 0.0
-        self.phase_history: list[float] = []
+        # bounded ring buffer: long-running carriers used to leak one
+        # float per symbol forever (see repro.dsp.timing.HISTORY_MAXLEN)
+        self.phase_history: deque[float] = deque(maxlen=history_maxlen)
 
     def _decide(self, y: complex) -> complex:
         m = self.order

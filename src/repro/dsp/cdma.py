@@ -14,6 +14,7 @@ factors of 2**2 .. 2**8.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -23,6 +24,7 @@ from scipy.signal import fftconvolve
 from .filters import srrc, upsample
 from .modem import PskModem, estimate_snr_m2m4
 from .carrier import carrier_lock_metric, data_aided_phase
+from .timing import HISTORY_MAXLEN
 
 __all__ = [
     "m_sequence",
@@ -241,7 +243,9 @@ class Dll:
         self.delta = delta
         self.gain = gain
         self.tau = 0.0  # timing error estimate, samples
-        self.tau_history: list[float] = []
+        # bounded ring buffer: long-running return links used to leak
+        # one float per symbol forever (see repro.dsp.timing.HISTORY_MAXLEN)
+        self.tau_history: deque[float] = deque(maxlen=HISTORY_MAXLEN)
 
     def _despread_at(self, x: np.ndarray, start: float) -> complex:
         """Despread one symbol with chip strobes starting at ``start``."""

@@ -7,12 +7,21 @@ raised-cosine (SRRC) matched filters feeding the demodulators.
 All filtering is vectorized; the only state kept by streaming filters is
 the tail of the previous block, so long signals can be processed in
 chunks with bit-identical results to one-shot filtering.
+
+The design functions (:func:`design_lowpass`, :func:`halfband`,
+:func:`srrc`) are memoized in the process-wide design-cache registry
+(:mod:`repro.caching`): constructing many modem/carrier personalities
+with the same parameters re-uses one frozen (read-only) tap array
+instead of re-deriving it.  Callers needing a private mutable copy do
+``srrc(...).copy()``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 from scipy.signal import fftconvolve
+
+from ..caching import cached_design, freeze
 
 __all__ = [
     "FirFilter",
@@ -27,8 +36,9 @@ __all__ = [
 ]
 
 
+@cached_design("dsp.design_lowpass", maxsize=128)
 def design_lowpass(num_taps: int, cutoff: float, window: str = "hamming") -> np.ndarray:
-    """Windowed-sinc linear-phase low-pass FIR design.
+    """Windowed-sinc linear-phase low-pass FIR design (cached, read-only).
 
     Parameters
     ----------
@@ -57,19 +67,21 @@ def design_lowpass(num_taps: int, cutoff: float, window: str = "hamming") -> np.
         raise ValueError(f"unknown window {window!r}")
     h *= w
     h /= h.sum()  # unit DC gain
-    return h
+    return freeze(h)
 
 
+@cached_design("dsp.halfband", maxsize=32)
 def halfband(num_taps: int = 31, window: str = "hamming") -> np.ndarray:
     """Design a half-band low-pass filter (cutoff 0.25 cycles/sample).
 
     Every second coefficient (except the center) is exactly zero -- the
     property that makes half-band filters cheap in hardware, which is why
-    the paper's front-end (Fig. 2) uses them after the ADC.
+    the paper's front-end (Fig. 2) uses them after the ADC.  Cached,
+    read-only.
     """
     if num_taps % 4 != 3:
         raise ValueError("half-band length must satisfy num_taps % 4 == 3 (e.g. 31)")
-    h = design_lowpass(num_taps, 0.25, window=window)
+    h = design_lowpass(num_taps, 0.25, window=window).copy()
     # Force the exact half-band zero pattern (design gives ~1e-17 residue):
     # taps at even offsets from the center are zero, except the center.
     mid = (num_taps - 1) // 2
@@ -77,11 +89,12 @@ def halfband(num_taps: int = 31, window: str = "hamming") -> np.ndarray:
     zero_mask = (offsets % 2 == 0) & (offsets != 0)
     h[zero_mask] = 0.0
     h /= h.sum()
-    return h
+    return freeze(h)
 
 
+@cached_design("dsp.srrc", maxsize=64)
 def srrc(beta: float, sps: int, span: int) -> np.ndarray:
-    """Square-root raised-cosine pulse (unit energy).
+    """Square-root raised-cosine pulse (unit energy, cached, read-only).
 
     Parameters
     ----------
@@ -115,7 +128,7 @@ def srrc(beta: float, sps: int, span: int) -> np.ndarray:
             + (1.0 - 2.0 / np.pi) * np.cos(np.pi / (4.0 * beta))
         )
     h /= np.sqrt(np.sum(h * h))  # unit energy
-    return h
+    return freeze(h)
 
 
 def rc(beta: float, sps: int, span: int) -> np.ndarray:
@@ -222,8 +235,17 @@ class HalfBandDecimator:
 class PolyphaseDecimator:
     """Decimate by ``m`` through an ``m``-branch polyphase FIR.
 
-    Mathematically identical to filter-then-downsample, at 1/m the cost;
-    used by the channelizer (:mod:`repro.dsp.demux`).
+    Mathematically identical to filter-then-downsample, at 1/m the
+    cost; used by the channelizer (:mod:`repro.dsp.demux`).  The output
+    is ``y[i] = sum_j taps[j] * x[i*m - j]``; splitting the tap index
+    as ``j = p + q*m`` (branch ``p`` holds ``taps[p::m]``) gives
+
+    - branch 0 convolving the phase-0 substream ``x[0::m]``, and
+    - branch ``p >= 1`` convolving ``x[m-p::m]`` delayed by one output
+      sample,
+
+    so every branch runs at the *output* rate -- no full-rate
+    convolution anywhere.
     """
 
     def __init__(self, taps: np.ndarray, m: int) -> None:
@@ -240,7 +262,17 @@ class PolyphaseDecimator:
     def process(self, x: np.ndarray) -> np.ndarray:
         """One-shot decimation of a block whose length is a multiple of m."""
         x = np.asarray(x, dtype=np.complex128)
-        if len(x) % self.m:
-            raise ValueError(f"block length must be a multiple of m={self.m}")
-        y = fftconvolve(x, self.taps, mode="full")[: len(x)]
-        return y[:: self.m]
+        m = self.m
+        if len(x) % m:
+            raise ValueError(f"block length must be a multiple of m={m}")
+        n_out = len(x) // m
+        if n_out == 0:
+            return np.zeros(0, dtype=np.complex128)
+        if m == 1:
+            return fftconvolve(x, self.taps, mode="full")[: len(x)]
+        y = np.convolve(x[0::m], self.branches[0])[:n_out]
+        for p in range(1, m):
+            # x[i*m - p - q*m] = x[(i-1-q)*m + (m-p)]: the phase-(m-p)
+            # substream, one output sample late
+            y[1:] += np.convolve(x[m - p :: m], self.branches[p])[: n_out - 1]
+        return y

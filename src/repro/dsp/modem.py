@@ -171,29 +171,40 @@ class PskModem:
 
     # -- demodulation ---------------------------------------------------
     def demodulate_hard(self, symbols: np.ndarray) -> np.ndarray:
-        """Minimum-distance hard decisions -> bit array."""
+        """Minimum-distance hard decisions -> bit array.
+
+        Batch-aware: ``symbols`` may carry any number of leading axes
+        (e.g. ``(batch, N)`` for a stack of bursts); decisions are made
+        along the last axis and the output replaces it with ``N *
+        bits_per_symbol`` bits.  A 1-D input returns a 1-D bit array,
+        as before.
+        """
         symbols = np.asarray(symbols)
-        d = np.abs(symbols[:, None] - self.points[None, :])
-        idx = np.argmin(d, axis=1)
-        return self.labels[idx].ravel()
+        d = np.abs(symbols[..., None] - self.points)
+        idx = np.argmin(d, axis=-1)
+        bits = self.labels[idx]  # (..., N, k)
+        return bits.reshape(symbols.shape[:-1] + (-1,))
 
     def demodulate_soft(self, symbols: np.ndarray, noise_var: float) -> np.ndarray:
         """Max-log LLRs, one per bit, ``LLR = log P(b=0) - log P(b=1)``.
 
         ``noise_var`` is the total complex noise variance (N0).
+        Batch-aware like :meth:`demodulate_hard`: leading axes are
+        preserved and the last axis becomes ``N * bits_per_symbol``
+        LLRs, bit-identical to demodulating each row separately.
         """
         if noise_var <= 0:
             raise ValueError("noise_var must be positive")
         symbols = np.asarray(symbols)
-        # squared distances to each constellation point: (N, M)
-        d2 = np.abs(symbols[:, None] - self.points[None, :]) ** 2
+        # squared distances to each constellation point: (..., N, M)
+        d2 = np.abs(symbols[..., None] - self.points) ** 2
         k = self.bits_per_symbol
-        out = np.empty((len(symbols), k))
+        out = np.empty(symbols.shape + (k,))
         for b in range(k):
-            m0 = d2[:, self._bit0_sets[b]].min(axis=1)
-            m1 = d2[:, self._bit1_sets[b]].min(axis=1)
-            out[:, b] = (m1 - m0) / noise_var
-        return out.ravel()
+            m0 = d2[..., self._bit0_sets[b]].min(axis=-1)
+            m1 = d2[..., self._bit1_sets[b]].min(axis=-1)
+            out[..., b] = (m1 - m0) / noise_var
+        return out.reshape(symbols.shape[:-1] + (-1,))
 
     def symbol_indices(self, bits: np.ndarray) -> np.ndarray:
         """Bit array -> integer symbol indices (for tests/inspection)."""

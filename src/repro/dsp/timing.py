@@ -17,16 +17,27 @@ interpolator they share.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 __all__ = [
     "cubic_interpolate",
+    "farrow_coefficients",
+    "fold_timing_offset",
     "oerder_meyr_estimate",
     "oerder_meyr_recover",
     "timing_lock_metric",
     "GardnerLoop",
     "loop_gains",
 ]
+
+#: Cap on the diagnostic history ring buffers kept by the feedback
+#: loops.  Long-running carriers (the FDIR chaos campaigns run bursts
+#: for hours) previously grew ``error_history``/``tau_history`` without
+#: bound; a few thousand entries are plenty for every ``error_rms``
+#: window in the repo.
+HISTORY_MAXLEN = 4096
 
 
 def cubic_interpolate(x: np.ndarray, base: np.ndarray, mu: np.ndarray) -> np.ndarray:
@@ -56,6 +67,50 @@ def cubic_interpolate(x: np.ndarray, base: np.ndarray, mu: np.ndarray) -> np.nda
     return ((c3 * mu + c2) * mu + c1) * mu + c0
 
 
+def farrow_coefficients(
+    x: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Farrow-form cubic coefficients for every base index of ``x``.
+
+    Returns ``(c0, c1, c2, c3)`` arrays of length ``len(x) - 3`` where
+    entry ``i`` holds the coefficients of base index ``b = i + 1``
+    (the valid base range of :func:`cubic_interpolate` after clamping
+    is ``[1, n - 3]``).  Evaluating
+    ``((c3[b-1]*mu + c2[b-1])*mu + c1[b-1])*mu + c0[b-1]`` is
+    bit-identical to ``cubic_interpolate(x, [b], [mu])[0]`` -- the same
+    arithmetic, hoisted out of the per-strobe feedback loop so the loop
+    body does pure scalar math (no per-symbol array allocation).
+    """
+    x = np.asarray(x)
+    if len(x) < 4:
+        raise ValueError("need at least 4 samples for cubic interpolation")
+    xm1 = x[:-3]
+    x0 = x[1:-2]
+    x1 = x[2:-1]
+    x2 = x[3:]
+    c0 = x0
+    c1 = x1 - xm1 / 3.0 - x0 / 2.0 - x2 / 6.0
+    c2 = (xm1 + x1) / 2.0 - x0
+    c3 = (x2 - xm1) / 6.0 + (x0 - x1) / 2.0
+    return c0, c1, c2, c3
+
+
+def fold_timing_offset(tau: float, sps: int | float) -> float:
+    """Fold a timing offset into the half-open interval ``[0, sps)``.
+
+    ``np.mod`` alone cannot guarantee this: for a tiny negative ``tau``
+    the rounded result equals the modulus itself
+    (``np.mod(-1e-18, 4) == 4.0``), which violates the ``0 <= tau <
+    sps`` contract of :func:`oerder_meyr_estimate` and mis-places the
+    first strobe of :func:`oerder_meyr_recover` by one full symbol.
+    The boundary folds back to ``0.0``.
+    """
+    t = float(np.mod(tau, sps))
+    if t >= sps:
+        t = 0.0
+    return t
+
+
 def oerder_meyr_estimate(x: np.ndarray, sps: int) -> float:
     """Oerder & Meyr feedforward timing estimate.
 
@@ -77,7 +132,7 @@ def oerder_meyr_estimate(x: np.ndarray, sps: int) -> float:
     sq = np.abs(x) ** 2
     line = np.sum(sq * np.exp(-2j * np.pi * n / sps))
     tau = -sps / (2.0 * np.pi) * np.angle(line)
-    return float(np.mod(tau, sps))
+    return fold_timing_offset(tau, sps)
 
 
 def oerder_meyr_recover(x: np.ndarray, sps: int) -> tuple[np.ndarray, float]:
@@ -146,9 +201,16 @@ class GardnerLoop:
     lock, the property the paper's reference [5] is cited for).
 
     The per-symbol recursion is inherently sequential, so this loop is a
-    (small) Python loop at symbol rate, with all interpolation math in
-    scalar numpy -- consistent with the HPC guidance: only the feedback
-    recurrence is serial.
+    (small) Python loop at symbol rate -- but the interpolation math is
+    hoisted out of it: :func:`farrow_coefficients` precomputes the
+    cubic coefficients for every base index in one vectorized pass, so
+    the loop body evaluates two Horner polynomials on Python complex
+    scalars (the old code allocated two 1-element numpy arrays per
+    symbol just to call :func:`cubic_interpolate`).
+
+    ``error_history``/``tau_history`` are bounded ring buffers
+    (``deque(maxlen=HISTORY_MAXLEN)``): long-running carriers used to
+    leak memory, one float per symbol, forever.
     """
 
     def __init__(
@@ -157,6 +219,7 @@ class GardnerLoop:
         bn_ts: float = 0.01,
         zeta: float = 0.7071,
         initial_tau: float = 0.0,
+        history_maxlen: int = HISTORY_MAXLEN,
     ) -> None:
         if sps < 2:
             raise ValueError("Gardner requires at least 2 samples/symbol")
@@ -164,14 +227,15 @@ class GardnerLoop:
         self.kp, self.ki = loop_gains(bn_ts, zeta, kd=2.0)
         self.tau = float(initial_tau)  # fractional timing phase, samples
         self._integrator = 0.0
-        self.error_history: list[float] = []
-        self.tau_history: list[float] = []
+        self.error_history: deque[float] = deque(maxlen=history_maxlen)
+        self.tau_history: deque[float] = deque(maxlen=history_maxlen)
 
     def process(self, x: np.ndarray) -> np.ndarray:
         """Recover symbols from one oversampled burst.
 
         Returns the symbol-rate strobes.  ``error_history`` and
-        ``tau_history`` record the loop trajectory for diagnostics.
+        ``tau_history`` record the (bounded) loop trajectory for
+        diagnostics.
         """
         x = np.asarray(x, dtype=np.complex128)
         sps = self.sps
@@ -180,28 +244,37 @@ class GardnerLoop:
         errs = self.error_history
         taus = self.tau_history
 
+        n = len(x)
+        if n >= 4:
+            # Farrow coefficients for every base index, one vectorized
+            # pass; entry i <-> base b = i + 1, matching the clamp
+            # range [1, n - 3] of cubic_interpolate.
+            c0, c1, c2, c3 = farrow_coefficients(x)
+            b_max = n - 3
+
         pos = 1.0 + self.tau  # first strobe position (needs base >= 1)
         prev: complex | None = None
-        n = len(x)
         while pos + half + 2.0 < n:
             b = int(pos)
             mu = pos - b
-            y = complex(cubic_interpolate(x, np.array([b]), np.array([mu]))[0])
+            i = min(max(b, 1), b_max) - 1
+            y = complex(((c3[i] * mu + c2[i]) * mu + c1[i]) * mu + c0[i])
             pm = pos - half
             bm = int(pm)
             mum = pm - bm
-            ymid = complex(cubic_interpolate(x, np.array([bm]), np.array([mum]))[0])
+            im = min(max(bm, 1), b_max) - 1
+            ymid = ((c3[im] * mum + c2[im]) * mum + c1[im]) * mum + c0[im]
             if prev is not None:
-                e = ((y - prev) * np.conj(ymid)).real
+                e = ((y - prev) * ymid.conjugate()).real
                 self._integrator += self.ki * e
                 adj = self.kp * e + self._integrator
                 pos -= adj * sps
                 errs.append(float(e))
-                taus.append(float(np.mod(pos, sps)))
+                taus.append(fold_timing_offset(pos, sps))
             out.append(y)
             prev = y
             pos += sps
-        self.tau = float(np.mod(pos, sps))
+        self.tau = fold_timing_offset(pos, sps)
         return np.asarray(out, dtype=np.complex128)
 
     def error_rms(self, window: int = 64) -> float:
@@ -215,5 +288,5 @@ class GardnerLoop:
             raise ValueError("window must be >= 1")
         if not self.error_history:
             return 0.0
-        tail = np.asarray(self.error_history[-window:])
+        tail = np.asarray(self.error_history, dtype=np.float64)[-window:]
         return float(np.sqrt(np.mean(tail**2)))

@@ -213,3 +213,68 @@ class TestPolyphaseDecimator:
         pd = PolyphaseDecimator(design_lowpass(9, 0.2), 4)
         with pytest.raises(ValueError):
             pd.process(np.zeros(10))
+
+    @pytest.mark.parametrize("m,ntaps", [(2, 15), (3, 31), (5, 33)])
+    def test_matches_reference_for_various_m(self, m, ntaps):
+        rng = np.random.default_rng(11 + m)
+        n = 60 * m
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        taps = design_lowpass(ntaps, 0.8 / (2 * m))
+        from scipy.signal import fftconvolve
+
+        ref = fftconvolve(x, taps, mode="full")[: len(x) : m]
+        got = PolyphaseDecimator(taps, m).process(x)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_no_full_rate_convolution(self, monkeypatch):
+        """Regression: the m>=2 path must never filter at the input rate.
+
+        The polyphase identity means each branch convolves a
+        decimated-by-m stream with ~ntaps/m taps.  The old
+        implementation convolved the full-rate input with the full
+        filter (``fftconvolve(x, taps)``) and threw away m-1 of every m
+        outputs.  Verified two ways: (a) the module-level
+        ``fftconvolve`` is never called, (b) every ``np.convolve``
+        operand is at the decimated rate.
+        """
+        import repro.dsp.filters as filters_mod
+
+        def _boom(*a, **k):  # pragma: no cover - failure path
+            raise AssertionError("full-rate fftconvolve called for m >= 2")
+
+        lengths = []
+        real_convolve = np.convolve
+
+        def _spy(a, v, mode="full"):
+            lengths.append(max(len(np.atleast_1d(a)), len(np.atleast_1d(v))))
+            return real_convolve(a, v, mode)
+
+        rng = np.random.default_rng(7)
+        m = 4
+        x = rng.standard_normal(240) + 1j * rng.standard_normal(240)
+        taps = design_lowpass(33, 0.1)
+        pd = PolyphaseDecimator(taps, m)
+
+        monkeypatch.setattr(filters_mod, "fftconvolve", _boom)
+        monkeypatch.setattr(np, "convolve", _spy)
+        y = pd.process(x)
+
+        monkeypatch.undo()
+        from scipy.signal import fftconvolve
+
+        ref = fftconvolve(x, taps, mode="full")[: len(x) : m]
+        np.testing.assert_allclose(y, ref, atol=1e-10)
+        assert lengths, "expected the branch path to use np.convolve"
+        # every convolution operand is at the decimated rate
+        assert max(lengths) <= len(x) // m
+
+    def test_m1_passthrough_filters_full_rate(self):
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        taps = design_lowpass(9, 0.2)
+        from scipy.signal import fftconvolve
+
+        ref = fftconvolve(x, taps, mode="full")[: len(x)]
+        np.testing.assert_allclose(
+            PolyphaseDecimator(taps, 1).process(x), ref, atol=1e-10
+        )

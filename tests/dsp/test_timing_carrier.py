@@ -13,8 +13,10 @@ from repro.dsp.carrier import (
 from repro.dsp.filters import srrc, upsample
 from repro.dsp.modem import PskModem
 from repro.dsp.timing import (
+    HISTORY_MAXLEN,
     GardnerLoop,
     cubic_interpolate,
+    fold_timing_offset,
     loop_gains,
     oerder_meyr_estimate,
     oerder_meyr_recover,
@@ -57,6 +59,84 @@ class TestCubicInterp:
     def test_short_input_rejected(self):
         with pytest.raises(ValueError):
             cubic_interpolate(np.zeros(3), np.array([1]), np.array([0.5]))
+
+
+class TestFoldTimingOffset:
+    """Regression for the ``np.mod(-1e-18, 4) == 4.0`` boundary bug."""
+
+    def test_tiny_negative_folds_to_zero(self):
+        # np.mod rounds -1e-18 % 4 up to exactly 4.0, which violated the
+        # 0 <= tau < sps contract and shifted the first strobe of
+        # oerder_meyr_recover by a full symbol.
+        assert float(np.mod(-1e-18, 4)) == 4.0  # the numpy behaviour
+        assert fold_timing_offset(-1e-18, 4) == 0.0
+
+    @pytest.mark.parametrize(
+        "tau,sps,expected",
+        [
+            (0.0, 4, 0.0),
+            (4.0, 4, 0.0),
+            (-4.0, 4, 0.0),
+            (0.5, 4, 0.5),
+            (-0.25, 4, 3.75),
+            (7.5, 4, 3.5),
+            (1e-18, 4, 1e-18),
+            (-1e-18, 3, 0.0),
+        ],
+    )
+    def test_contract(self, tau, sps, expected):
+        got = fold_timing_offset(tau, sps)
+        assert 0.0 <= got < sps
+        assert got == pytest.approx(expected, abs=1e-12)
+
+    def test_estimate_respects_contract_near_zero_offset(self):
+        """Bursts with ~zero true offset must never return tau == sps."""
+        sps = 4
+        for seed in range(8):
+            y, _, _ = _shaped_qpsk(128, sps, delay_samples=0.0, seed=seed)
+            tau = oerder_meyr_estimate(y, sps)
+            assert 0.0 <= tau < sps
+
+
+class TestHistoryCaps:
+    """Loop histories are bounded ring buffers, not unbounded lists."""
+
+    def test_gardner_history_bounded(self):
+        sps = 4
+        y, _, _ = _shaped_qpsk(600, sps, delay_samples=1.0, seed=6)
+        loop = GardnerLoop(sps=sps, history_maxlen=128)
+        loop.process(y)
+        assert len(loop.error_history) == 128
+        assert len(loop.tau_history) == 128
+        # diagnostics still work on the capped buffer
+        assert loop.error_rms(64) >= 0.0
+        assert all(0.0 <= t < sps for t in loop.tau_history)
+
+    def test_gardner_default_maxlen(self):
+        loop = GardnerLoop()
+        assert loop.error_history.maxlen == HISTORY_MAXLEN
+        assert loop.tau_history.maxlen == HISTORY_MAXLEN
+
+    def test_dd_loop_history_bounded(self):
+        rng = np.random.default_rng(9)
+        m = PskModem(4)
+        sym = m.modulate(rng.integers(0, 2, 2 * 500).astype(np.uint8))
+        loop = DecisionDirectedLoop(order=4, history_maxlen=64)
+        loop.process(sym)
+        assert len(loop.phase_history) == 64
+        assert DecisionDirectedLoop().phase_history.maxlen == HISTORY_MAXLEN
+
+    def test_dll_history_bounded(self):
+        from repro.dsp.cdma import Dll
+
+        code = np.where(np.arange(16) % 2 == 0, 1.0, -1.0)
+        dll = Dll(code, sps=4)
+        assert dll.tau_history.maxlen == HISTORY_MAXLEN
+        # appending past the cap discards the oldest entry
+        for i in range(HISTORY_MAXLEN + 10):
+            dll.tau_history.append(float(i))
+        assert len(dll.tau_history) == HISTORY_MAXLEN
+        assert dll.tau_history[0] == 10.0
 
 
 class TestOerderMeyr:

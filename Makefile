@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-perf all
+.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-perf test-scenarios all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -24,6 +24,9 @@ test-fdir:  ## traffic-plane FDIR: health monitors, recovery ladder, degraded mo
 
 test-perf:  ## batched burst-processing throughput baseline (prints bursts/sec tables)
 	$(PYTHON) -m pytest benchmarks/bench_perf_burst_batch.py -s
+
+test-scenarios:  ## mission-scenario conformance: golden corpus, differential oracles, seeded soak sweeps
+	$(PYTHON) -m pytest -m scenario tests/scenarios/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -183,6 +183,20 @@ class RegenerativePayload:
         """All equipments carrying a live function."""
         return all(eq.operational for eq in self.demods) and self.decoder.operational
 
+    def personalities(self) -> Dict[str, Optional[str]]:
+        """Currently loaded design per equipment (demods + decoder).
+
+        A stable, JSON-able summary of what the payload *is* right now
+        -- the scenario conformance engine freezes this in its golden
+        records so a reconfiguration plan that silently stopped landing
+        shows up as a readable diff, not just a trace-hash change.
+        """
+        out: Dict[str, Optional[str]] = {
+            eq.name: eq.loaded_design for eq in self.demods
+        }
+        out[self.decoder.name] = self.decoder.loaded_design
+        return out
+
     # -- synthesis (test/bench signal source) --------------------------------
     def build_uplink(self, bits_per_carrier: List[np.ndarray]) -> np.ndarray:
         """Build the MF multiplex carrying one burst per carrier.
@@ -294,10 +308,25 @@ class RegenerativePayload:
         the LLR blocks, and runs one :meth:`decode_blocks` call.
         Carriers without usable symbols (sync/equipment failure, or too
         few bits for the chain's ``physical_bits``) yield ``None``.
+
+        A dead decoder (SEU, power-off) is contained here, mirroring
+        fault containment on the demod side: every synchronized carrier
+        is reported to the health bank as a CRC failure so the FDIR
+        detection path sees the fault, and all carriers yield ``None``
+        instead of the fault aborting the uplink.
         """
-        chain = self.decoder.behaviour()
-        n_llr = int(getattr(chain, "physical_bits", 0))
+        from .equipment import EquipmentError
+
         decoded: List[Optional[dict]] = [None] * len(diags)
+        try:
+            chain = self.decoder.behaviour()
+        except EquipmentError:
+            if self.health is not None:
+                for k, diag in enumerate(diags):
+                    if diag.get("symbols") is not None:
+                        self.health.observe_decode(k, False)
+            return decoded
+        n_llr = int(getattr(chain, "physical_bits", 0))
         if n_llr <= 0:
             return decoded
         blocks: List[np.ndarray] = []

@@ -248,6 +248,22 @@ class NetworkControlCenter:
         self._tc_id = 0
         self.results: list[CampaignResult] = []
 
+    @property
+    def stats(self) -> dict:
+        """Ground-side campaign counters (TC transactions + outcomes).
+
+        ``tc_issued`` counts unique telecommand ids this NCC ever sent;
+        together with the gateway's ``executed`` / ``dedup_hits``
+        counters it is the exactly-once oracle the scenario soak sweeps
+        assert: every issued TC executes exactly once no matter how many
+        retransmissions the lossy ground link forced.
+        """
+        out = dict(self.tc.stats)
+        out["tc_issued"] = self._tc_id
+        out["campaigns"] = len(self.results)
+        out["campaigns_ok"] = sum(1 for r in self.results if r.success)
+        return out
+
     # -- telecommand round trip ------------------------------------------------
     def send_telecommand(self, action: str, args: dict):
         """Generator: one reliable TC transaction; returns the TM reply dict.

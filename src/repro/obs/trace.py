@@ -167,6 +167,20 @@ class Tracer:
         """SHA-256 hex digest of :meth:`canonical` -- the regression oracle."""
         return hashlib.sha256(self.canonical()).hexdigest()
 
+    def kind_counts(self) -> Dict[str, int]:
+        """Retained events per ``kind``, sorted by kind name.
+
+        A hash mismatch says *that* a run drifted; diffing two runs'
+        kind counts says *where* -- which subsystem emitted more or
+        fewer events.  The scenario conformance engine freezes these
+        next to the trace hash so a golden failure points at the
+        diverging event stream instead of an opaque digest.
+        """
+        counts: Dict[str, int] = {}
+        for ev in self.events():
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
 
 class _NullTracer:
     """Tracer stand-in while observability is disabled (all no-ops)."""
@@ -199,6 +213,9 @@ class _NullTracer:
 
     def hash(self):
         return ""
+
+    def kind_counts(self):
+        return {}
 
 
 class _NullSpan:

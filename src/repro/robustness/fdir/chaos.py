@@ -43,6 +43,7 @@ from ...dsp.modem import ebn0_to_sigma
 from ...dsp.tdma import BurstFormat, FramePlan, TdmaModem
 from ...fpga.device import Fpga
 from ...obs.probes import probe as _obs_probe
+from ...sim.rng import RngRegistry
 from .arbiter import FdirArbiter
 from .degraded import DegradedModePolicy
 from .health import HealthMonitorBank, HealthThresholds
@@ -113,9 +114,23 @@ class TrafficScenario:
 # ---------------------------------------------------------------------------
 
 def build_traffic_world(
-    seed: int, thresholds: Optional[HealthThresholds] = None
+    seed: int,
+    thresholds: Optional[HealthThresholds] = None,
+    *,
+    num_carriers: int = NUM_CARRIERS,
+    slots_per_frame: int = 4,
+    base_cn_db: float = BASE_CN_DB,
+    down_cn_db: float = DOWN_CN_DB,
+    required_ber: float = REQUIRED_BER,
 ) -> "TrafficWorld":
-    """Assemble the 3-carrier regenerative payload with full FDIR."""
+    """Assemble an ``num_carriers``-carrier regenerative payload with full FDIR.
+
+    The defaults reproduce the 3-carrier chaos-campaign world exactly;
+    the scenario conformance engine (:mod:`repro.scenarios`) reuses this
+    builder with spec-driven carrier counts and link budgets.
+    """
+    if num_carriers < 2:
+        raise ValueError("the MF-TDMA traffic world needs >= 2 carriers")
     burst = BurstFormat(preamble=16, uw=16, payload=96)
     registry = default_registry(tdma_burst=burst, transport_block=40)
     # the CFO-tolerant fallback personality the recovery ladder loads
@@ -129,7 +144,7 @@ def build_traffic_world(
         )
     )
     cfg = PayloadConfig(
-        num_carriers=NUM_CARRIERS,
+        num_carriers=num_carriers,
         fpga_rows=8,
         fpga_cols=8,
         fpga_bits_per_clb=32,
@@ -172,19 +187,19 @@ def build_traffic_world(
         },
         threshold=3,
     )
-    plan = FramePlan(num_carriers=NUM_CARRIERS, slots_per_frame=4)
-    for k in range(NUM_CARRIERS):
+    plan = FramePlan(num_carriers=num_carriers, slots_per_frame=slots_per_frame)
+    for k in range(num_carriers):
         plan.assign(f"term-{k}a", k, 0)
         plan.assign(f"term-{k}b", k, 1)
     policy = DegradedModePolicy(
         plan,
-        down_cn_db=DOWN_CN_DB,
-        required_ber=REQUIRED_BER,
+        down_cn_db=down_cn_db,
+        required_ber=required_ber,
         shed_margin_db=0.0,
         restore_margin_db=2.0,
         min_active=1,
     )
-    bank = HealthMonitorBank(NUM_CARRIERS, thresholds)
+    bank = HealthMonitorBank(num_carriers, thresholds)
     payload.attach_health(bank)
     arbiter = FdirArbiter(
         payload, bank, watchdog=watchdog, policy=policy, patience=2
@@ -198,6 +213,7 @@ def build_traffic_world(
         policy=policy,
         arbiter=arbiter,
         watchdog=watchdog,
+        base_cn_db=base_cn_db,
     )
 
 
@@ -213,11 +229,16 @@ class TrafficWorld:
     policy: DegradedModePolicy
     arbiter: FdirArbiter
     watchdog: object
+    base_cn_db: float = BASE_CN_DB
     _ground_modems: Dict[str, object] = field(default_factory=dict)
     _ground_chain: object = None
 
     def __post_init__(self) -> None:
         self._ground_chain = self.payload.registry.get("decod.conv").factory()
+
+    @property
+    def num_carriers(self) -> int:
+        return self.plan.num_carriers
 
     def ground_modem(self, design: str):
         """The terminal-side modem matching a commanded personality."""
@@ -349,12 +370,11 @@ class TrafficChaosCampaign:
         return self.outcomes
 
     def run_one(self, scenario: TrafficScenario, seed: int) -> TrafficOutcome:
-        import zlib
-
         world = build_traffic_world(seed)
-        rng = np.random.default_rng(
-            np.random.SeedSequence([seed, zlib.crc32(scenario.name.encode())])
-        )
+        # Named stream from the repo-wide seeded-RNG registry: the draw
+        # sequence is a pure function of (seed, scenario) and adding a
+        # scenario never perturbs another's draws.
+        rng = RngRegistry(seed).stream(f"fdir.chaos.{scenario.name}")
         p = self._probe
         if p is not None:
             p.count("runs")
@@ -369,7 +389,7 @@ class TrafficChaosCampaign:
         expected_final = (
             scenario.expected_final_active
             if scenario.expected_final_active is not None
-            else NUM_CARRIERS
+            else world.num_carriers
         )
         try:
             for f in range(scenario.frames):
@@ -380,7 +400,10 @@ class TrafficChaosCampaign:
                     if k not in world.policy.terminal
                 ]
                 cn = shared_uplink_cn(
-                    BASE_CN_DB, spec.fade_db, NUM_CARRIERS, max(1, len(active))
+                    world.base_cn_db,
+                    spec.fade_db,
+                    world.num_carriers,
+                    max(1, len(active)),
                 )
                 frame_ok = len(active) == expected_final
                 sent: Dict[int, np.ndarray] = {}
@@ -412,10 +435,10 @@ class TrafficChaosCampaign:
                     streams[k] = s
                 if streams:
                     n = max(len(s) for s in streams.values())
-                    mat = np.zeros((NUM_CARRIERS, n), dtype=np.complex128)
+                    mat = np.zeros((world.num_carriers, n), dtype=np.complex128)
                     for k, s in streams.items():
                         mat[k, : len(s)] = s
-                    wide = multiplex_carriers(mat, NUM_CARRIERS)
+                    wide = multiplex_carriers(mat, world.num_carriers)
                     out = world.payload.process_uplink(wide)
                     for k in active:
                         attempted += 1
@@ -501,7 +524,8 @@ class TrafficChaosCampaign:
                 k: m.trips for k, m in world.bank.monitors.items()
             },
             policy_transitions={
-                k: world.policy.transitions_of(k) for k in range(NUM_CARRIERS)
+                k: world.policy.transitions_of(k)
+                for k in range(world.num_carriers)
             },
             active_history=active_hist,
             severity_history=sev_hist,

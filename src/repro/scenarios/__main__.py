@@ -1,0 +1,124 @@
+"""CLI for the scenario corpus.
+
+::
+
+    python -m repro.scenarios --list
+    python -m repro.scenarios --run nominal
+    python -m repro.scenarios --regen [--dry-run] [--only NAME ...]
+    python -m repro.scenarios --oracles
+
+``--regen`` replays every canonical scenario and rewrites
+``tests/scenarios/golden/``; with ``--dry-run`` it only reports the
+diffs.  Exit status is 0 when nothing diverged (or records were
+rewritten), 1 when a dry run found drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .catalog import canonical_scenarios, catalog_by_name
+from .corpus import default_golden_dir, regen_corpus
+from .oracles import run_default_oracles
+from .runner import result_violations, run_scenario
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="mission-scenario conformance corpus",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list canonical scenarios"
+    )
+    parser.add_argument(
+        "--run", metavar="NAME", help="run one scenario and print a summary"
+    )
+    parser.add_argument(
+        "--regen",
+        action="store_true",
+        help="re-run the canonical corpus and rewrite the golden records",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with --regen: report diffs without writing",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="restrict --regen to the named scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        help=f"golden corpus directory (default: {default_golden_dir()})",
+    )
+    parser.add_argument(
+        "--oracles",
+        action="store_true",
+        help="run the differential oracles and print their verdicts",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for spec in canonical_scenarios():
+            print(f"{spec.name:20s} {spec.description}")
+        return 0
+
+    if args.oracles:
+        reports = run_default_oracles()
+        for rep in reports:
+            print(rep)
+        return 0 if all(r.agree for r in reports) else 1
+
+    if args.run:
+        specs = catalog_by_name()
+        if args.run not in specs:
+            print(f"unknown scenario {args.run!r}", file=sys.stderr)
+            return 2
+        result = run_scenario(specs[args.run])
+        m = result.metrics
+        print(f"scenario   {result.name}")
+        print(f"trace hash {result.trace_hash}")
+        print(
+            f"delivered  {m['delivered']}/{m['attempted']} blocks "
+            f"({m['corrupt']} corrupt, {m['crc_failures']} CRC failures)"
+        )
+        print(f"final      {m['final_active']} active carriers")
+        violations = result_violations(result)
+        for v in violations:
+            print(f"VIOLATION  {v}")
+        return 0 if not violations else 1
+
+    if args.regen:
+        try:
+            diffs = regen_corpus(
+                directory=args.dir, only=args.only, dry_run=args.dry_run
+            )
+        except KeyError as exc:
+            print(exc.args[0] if exc.args else exc, file=sys.stderr)
+            return 2
+        drifted = {k: v for k, v in diffs.items() if v}
+        for name in sorted(diffs):
+            lines = diffs[name]
+            status = "ok" if not lines else (
+                "would change" if args.dry_run else "rewritten"
+            )
+            print(f"{name:20s} {status}")
+            for line in lines:
+                print(f"    {line}")
+        if args.dry_run:
+            return 1 if drifted else 0
+        return 0
+
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Golden-trace corpus: freeze, load, diff and regenerate.
+
+Each canonical scenario gets one JSON record under
+``tests/scenarios/golden/`` holding the spec (and its hash), the
+canonical obs-trace hash, the per-kind trace event counts and the
+summary metrics.  The conformance test replays the scenario and
+compares against the record; :func:`diff_records` turns any divergence
+into readable lines ("metric delivered: 58 -> 55", "trace kind
+net.tmtc.frames_out: 120 -> 118") instead of a bare hash mismatch.
+
+``python -m repro.scenarios --regen`` rewrites the corpus after an
+intentional behaviour change; ``--regen --dry-run`` reports what would
+change without touching the files (and is itself under test: against
+an up-to-date corpus it must be a no-op).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .catalog import canonical_scenarios
+from .runner import ScenarioResult, run_scenario
+from .spec import ScenarioSpec
+
+__all__ = [
+    "GoldenRecord",
+    "default_golden_dir",
+    "record_of",
+    "diff_records",
+    "load_record",
+    "write_record",
+    "load_corpus",
+    "regen_corpus",
+]
+
+#: bump when the record layout changes incompatibly
+CORPUS_FORMAT = 1
+
+
+def default_golden_dir() -> Path:
+    """``tests/scenarios/golden/`` relative to the repo root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "scenarios" / "golden"
+
+
+@dataclass(frozen=True)
+class GoldenRecord:
+    """One frozen scenario outcome."""
+
+    name: str
+    spec_hash: str
+    trace_hash: str
+    kind_counts: Dict[str, int]
+    metrics: Dict[str, object]
+    spec: Dict[str, object] = field(default_factory=dict)
+    format: int = CORPUS_FORMAT
+
+    def to_json(self) -> str:
+        payload = {
+            "format": self.format,
+            "name": self.name,
+            "spec_hash": self.spec_hash,
+            "trace_hash": self.trace_hash,
+            "kind_counts": self.kind_counts,
+            "metrics": self.metrics,
+            "spec": self.spec,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "GoldenRecord":
+        d = json.loads(text)
+        return cls(
+            name=d["name"],
+            spec_hash=d["spec_hash"],
+            trace_hash=d["trace_hash"],
+            kind_counts={str(k): int(v) for k, v in d["kind_counts"].items()},
+            metrics=d["metrics"],
+            spec=d.get("spec", {}),
+            format=int(d.get("format", CORPUS_FORMAT)),
+        )
+
+
+def record_of(result: ScenarioResult) -> GoldenRecord:
+    """Freeze one run into a golden record."""
+    return GoldenRecord(
+        name=result.spec.name,
+        spec_hash=result.spec.spec_hash(),
+        trace_hash=result.trace_hash,
+        kind_counts=dict(result.kind_counts),
+        metrics=json.loads(json.dumps(result.metrics)),
+        spec=json.loads(json.dumps(result.spec.to_dict())),
+    )
+
+
+def _flatten(value: object, prefix: str, out: Dict[str, object]) -> None:
+    if isinstance(value, dict):
+        for k in sorted(value, key=str):
+            _flatten(value[k], f"{prefix}.{k}" if prefix else str(k), out)
+    else:
+        out[prefix] = value
+
+
+def diff_records(old: GoldenRecord, new: GoldenRecord) -> List[str]:
+    """Readable divergence lines between two records (empty = match)."""
+    lines: List[str] = []
+    if old.spec_hash != new.spec_hash:
+        lines.append(
+            f"spec changed: {old.spec_hash[:12]} -> {new.spec_hash[:12]} "
+            "(the scenario definition itself differs)"
+        )
+    for kind in sorted(set(old.kind_counts) | set(new.kind_counts)):
+        a = old.kind_counts.get(kind, 0)
+        b = new.kind_counts.get(kind, 0)
+        if a != b:
+            lines.append(f"trace kind {kind}: {a} -> {b}")
+    flat_old: Dict[str, object] = {}
+    flat_new: Dict[str, object] = {}
+    _flatten(old.metrics, "", flat_old)
+    _flatten(new.metrics, "", flat_new)
+    for key in sorted(set(flat_old) | set(flat_new)):
+        a = flat_old.get(key, "<absent>")
+        b = flat_new.get(key, "<absent>")
+        if a != b:
+            lines.append(f"metric {key}: {a} -> {b}")
+    if old.trace_hash != new.trace_hash and not lines:
+        lines.append(
+            f"trace hash drifted ({old.trace_hash[:12]} -> "
+            f"{new.trace_hash[:12]}) with identical summaries: event "
+            "payloads or ordering changed"
+        )
+    elif old.trace_hash != new.trace_hash:
+        lines.append(
+            f"trace hash: {old.trace_hash[:12]} -> {new.trace_hash[:12]}"
+        )
+    return lines
+
+
+def load_record(path: Path) -> GoldenRecord:
+    return GoldenRecord.from_json(path.read_text())
+
+
+def write_record(directory: Path, record: GoldenRecord) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{record.name}.json"
+    path.write_text(record.to_json())
+    return path
+
+
+def load_corpus(directory: Path) -> Dict[str, GoldenRecord]:
+    out: Dict[str, GoldenRecord] = {}
+    for path in sorted(directory.glob("*.json")):
+        rec = load_record(path)
+        out[rec.name] = rec
+    return out
+
+
+def regen_corpus(
+    directory: Optional[Path] = None,
+    only: Optional[Sequence[str]] = None,
+    dry_run: bool = False,
+    specs: Optional[Sequence[ScenarioSpec]] = None,
+) -> Dict[str, List[str]]:
+    """Re-run scenarios and (unless ``dry_run``) rewrite their records.
+
+    Returns ``{scenario: diff lines}`` relative to the corpus on disk;
+    a brand-new record diffs as ``["new record"]``.
+    """
+    directory = directory or default_golden_dir()
+    wanted = list(specs) if specs is not None else canonical_scenarios()
+    if only:
+        names = set(only)
+        unknown = names - {s.name for s in wanted}
+        if unknown:
+            raise KeyError(f"unknown scenarios: {sorted(unknown)}")
+        wanted = [s for s in wanted if s.name in names]
+    existing = load_corpus(directory) if directory.is_dir() else {}
+    diffs: Dict[str, List[str]] = {}
+    for spec in wanted:
+        record = record_of(run_scenario(spec))
+        old = existing.get(spec.name)
+        diffs[spec.name] = (
+            diff_records(old, record) if old else ["new record"]
+        )
+        if not dry_run:
+            write_record(directory, record)
+    return diffs

@@ -1,0 +1,501 @@
+"""Compile a :class:`~repro.scenarios.spec.ScenarioSpec` and run it.
+
+The runner assembles the *whole* stack for one mission timeline:
+
+- the FDIR traffic world (payload + DSP + coding + health monitors +
+  recovery arbiter + degraded-mode policy + cold spares + watchdog),
+  built by :func:`repro.robustness.fdir.chaos.build_traffic_world` with
+  the spec's carrier count and link budget;
+- a simulated TC/TM ground segment -- NCC and satellite gateway nodes
+  joined by a :class:`repro.net.simnet.Link` with the spec's delay,
+  rate and bit-error rate -- on which the reconfiguration plan runs as
+  real §3 campaigns (upload + store + reconfigure, retried and
+  deduplicated by the robustness layer);
+- the discrete-event kernel pacing MF-TDMA frames, with campaign
+  processes running *concurrently* in simulated time;
+- a :mod:`repro.obs` session capturing every instrumented subsystem
+  into one deterministic trace.
+
+The output is a :class:`ScenarioResult` whose ``trace_hash`` is a pure
+function of the spec: two runs of the same spec must hash identically,
+and the golden corpus freezes those hashes as the conformance oracle.
+:func:`result_violations` applies the cross-cutting invariants (no
+silent corruption, no flapping, monotonic degradation, recovery at the
+expected width, exactly-once TC execution) to any result.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import obs
+from ..core.linkbudget import shared_uplink_cn
+from ..dsp.demux import multiplex_carriers
+from ..dsp.modem import ebn0_to_sigma
+from ..ncc.campaign import NetworkControlCenter, SatelliteGateway
+from ..net.simnet import Link, Node
+from ..obs.probes import probe as _obs_probe
+from ..obs.trace import Tracer
+from ..robustness.fdir.chaos import TrafficWorld, build_traffic_world
+from ..sim import RngRegistry, Simulator, derive_seed
+from .spec import (
+    CHANNEL_FAULT_KINDS,
+    FaultEvent,
+    ReconfigAction,
+    ScenarioSpec,
+)
+
+__all__ = [
+    "MAX_ALARM_TRIPS",
+    "MAX_POLICY_TRANSITIONS",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "result_violations",
+    "run_scenario",
+]
+
+#: trace ring size for scenario runs (large enough that canonical
+#: missions retain every event; evictions would still be deterministic)
+TRACE_CAPACITY = 32768
+
+#: flapping bounds shared with the FDIR chaos campaign
+MAX_ALARM_TRIPS = 3
+MAX_POLICY_TRANSITIONS = 3
+
+#: extra simulated seconds granted beyond the mission for campaign
+#: retries to drain before the no-hang invariant trips
+CAMPAIGN_GRACE_S = 900.0
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced.
+
+    ``metrics`` is flat JSON-able data (the golden summary);
+    ``kind_counts`` maps trace-event kinds to counts so a hash drift
+    diffs down to *which* event stream diverged; the histories feed the
+    invariant checks.
+    """
+
+    spec: ScenarioSpec
+    completed: bool
+    error: Optional[str]
+    trace_hash: str
+    kind_counts: Dict[str, int]
+    metrics: Dict[str, object]
+    active_history: List[int] = field(default_factory=list)
+    severity_history: List[float] = field(default_factory=list)
+    frame_ok_history: List[bool] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class ScenarioRunner:
+    """Compile one spec onto the kernel and run it end to end."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec.validate()
+
+    # -- world assembly ---------------------------------------------------
+    def _build(self):
+        spec = self.spec
+        sim = Simulator()
+        rngs = RngRegistry(derive_seed(spec.seed, "scenario", spec.name))
+        world = build_traffic_world(
+            spec.seed,
+            num_carriers=spec.num_carriers,
+            base_cn_db=spec.link.base_cn_db,
+            down_cn_db=spec.link.down_cn_db,
+            required_ber=spec.link.required_ber,
+        )
+        ground = Node(sim, "ncc", 1)
+        space = Node(sim, "sat", 2)
+        link = Link(
+            sim,
+            delay=spec.ground.delay,
+            rate_bps=spec.ground.rate_bps,
+            ber=spec.ground.ber,
+            rng=rngs.stream("ground.link") if spec.ground.ber else None,
+        )
+        link.attach(ground)
+        link.attach(space)
+        gateway = SatelliteGateway(space, world.payload)
+        cfg = world.payload.config
+        ncc = NetworkControlCenter(
+            ground,
+            world.payload.registry,
+            sat_address=2,
+            fpga_geometry=(cfg.fpga_rows, cfg.fpga_cols, cfg.fpga_bits_per_clb),
+            rng=rngs.stream("ground.jitter"),
+        )
+        return sim, rngs, world, ncc, gateway
+
+    # -- per-frame channel/fault compilation -------------------------------
+    def _channel_state(self, frame: int):
+        """(blank set, noise-boost map, cfo map) afflicting ``frame``."""
+        blank, boost, cfo = set(), {}, {}
+        for ev in self.spec.faults:
+            if ev.kind not in CHANNEL_FAULT_KINDS or not ev.active_at(frame):
+                continue
+            if ev.kind == "blank":
+                blank.add(ev.carrier)
+            elif ev.kind == "interference":
+                boost[ev.carrier] = boost.get(ev.carrier, 0.0) + ev.magnitude
+            elif ev.kind == "cfo":
+                cfo[ev.carrier] = cfo.get(ev.carrier, 0.0) + ev.magnitude
+        return blank, boost, cfo
+
+    def _strike_equipment(self, world: TrafficWorld, ev: FaultEvent, rng) -> None:
+        """Apply one equipment fault at its scheduled frame."""
+        if ev.kind == "seu.decoder":
+            fpga = world.payload.decoder.fpga
+            n = fpga.rows * fpga.cols * fpga.bits_per_clb
+            count = int(ev.magnitude) or 200
+            fpga.upset_bits(rng.choice(n, size=min(count, n), replace=False))
+        elif ev.kind == "latchup.demod":
+            pair = world.payload.demods[ev.carrier]
+            pair.mark_unit_failed(pair.active)
+
+    def _chain_for(self, world: TrafficWorld, design: str):
+        """Ground-side transport chain matching the decoder personality."""
+        chains = self._chains
+        chain = chains.get(design)
+        if chain is None:
+            chain = world.payload.registry.get(design).factory()
+            chains[design] = chain
+        return chain
+
+    # -- the mission process ----------------------------------------------
+    def _campaign(self, ncc: NetworkControlCenter, rc: ReconfigAction):
+        result = yield from ncc.reconfigure_equipment(
+            rc.equipment, rc.function, protocol=rc.protocol, version=rc.version
+        )
+        return result
+
+    def _mission(self, sim, rngs, world, ncc):
+        spec = self.spec
+        probe = _obs_probe("scenario", name=spec.name)
+        offer_rng = rngs.stream("traffic.offer")
+        bits_rng = rngs.stream("traffic.bits")
+        noise_rng = rngs.stream("channel.noise")
+        seu_rng = rngs.stream("fault.seu")
+        campaigns = []
+        by_frame: Dict[int, List[ReconfigAction]] = {}
+        for rc in spec.reconfigs:
+            by_frame.setdefault(rc.frame, []).append(rc)
+        struck: set = set()
+        for f in range(spec.frames):
+            for rc in by_frame.get(f, ()):
+                campaigns.append(
+                    sim.process(
+                        self._campaign(ncc, rc),
+                        name=f"reconfig.{rc.equipment}.{rc.function}",
+                    )
+                )
+            for i, ev in enumerate(self.spec.faults):
+                if ev.kind in CHANNEL_FAULT_KINDS or i in struck or ev.frame != f:
+                    continue
+                struck.add(i)
+                self._strike_equipment(world, ev, seu_rng)
+            self._frame(f, world, offer_rng, bits_rng, noise_rng, probe)
+            yield sim.timeout(spec.frame_duration)
+        # join outstanding reconfiguration campaigns so the exactly-once
+        # accounting is final when the mission event fires
+        for proc in campaigns:
+            if proc.is_alive:
+                yield proc
+
+    def _frame(self, f, world, offer_rng, bits_rng, noise_rng, probe):
+        spec = self.spec
+        n_car = spec.num_carriers
+        fade = spec.fade_db(f)
+        severity = spec.severity(f)
+        blank, boost, cfo = self._channel_state(f)
+        expected_final = (
+            spec.expected_final_active
+            if spec.expected_final_active is not None
+            else n_car
+        )
+        active = [
+            k
+            for k in world.policy.active_carriers
+            if k not in world.policy.terminal
+        ]
+        cn = shared_uplink_cn(
+            spec.link.base_cn_db, fade, n_car, max(1, len(active))
+        )
+        frame_ok = len(active) == expected_final
+        dec_design = world.payload.decoder.loaded_design or "decod.conv"
+        chain = self._chain_for(world, dec_design)
+        sent: Dict[int, np.ndarray] = {}
+        offered: Dict[int, bool] = {}
+        streams: Dict[int, np.ndarray] = {}
+        # rolling checksum of what was sent and what was regenerated:
+        # traced per frame so the golden hash covers payload *content*,
+        # not just delivery counts
+        content_crc = 0
+        for k in active:
+            eq = world.payload.demods[k]
+            design = eq.loaded_design or "modem.tdma"
+            modem = world.ground_modem(design)
+            # idle carriers still carry a keep-alive burst (random fill,
+            # same signal statistics as traffic) so the health monitors
+            # keep seeing sync -- real MF-TDMA slots are never silent
+            # unless the carrier is shed
+            has_data = bool(offer_rng.random() < spec.traffic.probability(k))
+            block = bits_rng.integers(0, 2, chain.transport_block).astype(
+                np.uint8
+            )
+            coded = chain.encode(block)
+            bb = np.zeros(modem.bits_per_burst, dtype=np.uint8)
+            n = min(len(coded), modem.bits_per_burst)
+            bb[:n] = coded[:n]
+            s = modem.transmit(bb)
+            off = cfo.get(k, 0.0)
+            if off:
+                s = s * np.exp(2j * np.pi * off * np.arange(len(s)))
+            sigma = ebn0_to_sigma(cn, 1, 1.0)
+            sigma *= 10.0 ** (boost.get(k, 0.0) / 20.0)
+            noise = sigma * (
+                noise_rng.standard_normal(len(s))
+                + 1j * noise_rng.standard_normal(len(s))
+            )
+            s = noise if k in blank else s + noise
+            sent[k] = block
+            offered[k] = has_data
+            streams[k] = s
+            content_crc = zlib.crc32(block.tobytes(), content_crc)
+        delivered_now = 0
+        if streams:
+            n = max(len(s) for s in streams.values())
+            mat = np.zeros((n_car, n), dtype=np.complex128)
+            for k, s in streams.items():
+                mat[k, : len(s)] = s
+            wide = multiplex_carriers(mat, n_car)
+            out = world.payload.process_uplink(wide, decode=True)
+            for k in active:
+                verdict = world.bank.monitor(k).last
+                healthy = verdict is not None and verdict.healthy
+                decoded = out["decoded"][k]
+                crc_ok = bool(decoded and decoded["crc_ok"])
+                if decoded is not None:
+                    content_crc = zlib.crc32(
+                        np.asarray(decoded["bits"], dtype=np.uint8).tobytes(),
+                        content_crc,
+                    )
+                if not offered[k]:
+                    self._m["keepalive"] += 1
+                    if not (healthy and crc_ok):
+                        frame_ok = False
+                    continue
+                self._m["attempted"] += 1
+                bits_match = bool(
+                    decoded is not None
+                    and np.array_equal(decoded["bits"], sent[k])
+                )
+                if decoded is not None and not crc_ok:
+                    self._m["crc_failures"] += 1
+                if healthy and crc_ok:
+                    self._m["delivered"] += 1
+                    delivered_now += 1
+                    if not bits_match:
+                        self._m["corrupt"] += 1
+                else:
+                    frame_ok = False
+        else:
+            frame_ok = expected_final == 0
+        world.arbiter.step(served=active)
+        world.policy.update(cn)
+        self.active_history.append(len(world.policy.active_carriers))
+        self.severity_history.append(severity)
+        self.frame_ok_history.append(frame_ok)
+        if probe is not None:
+            probe.event(
+                "scenario.frame",
+                f=f,
+                active=len(active),
+                offered=sum(offered.values()),
+                delivered=delivered_now,
+                fade=round(fade, 6),
+                crc=content_crc,
+            )
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Run the scenario under a fresh observability session."""
+        spec = self.spec
+        self._chains: Dict[str, object] = {}
+        self._m = {
+            "attempted": 0,
+            "delivered": 0,
+            "corrupt": 0,
+            "crc_failures": 0,
+            "keepalive": 0,
+        }
+        self.active_history: List[int] = []
+        self.severity_history: List[float] = []
+        self.frame_ok_history: List[bool] = []
+        completed, error = True, None
+        with obs.session(tracer=Tracer(capacity=TRACE_CAPACITY)) as (_, tracer):
+            sim, rngs, world, ncc, gateway = self._build()
+            tracer.set_clock(lambda: sim.now)
+            mission = sim.process(
+                self._mission(sim, rngs, world, ncc), name=f"mission.{spec.name}"
+            )
+            limit = spec.frames * spec.frame_duration + CAMPAIGN_GRACE_S
+            try:
+                sim.run_until_event(mission, limit=limit)
+            except Exception as exc:
+                completed = False
+                error = f"{type(exc).__name__}: {exc}"
+                while len(self.active_history) < spec.frames:
+                    self.active_history.append(0)
+                    self.severity_history.append(0.0)
+                    self.frame_ok_history.append(False)
+            metrics = self._collect(sim, world, ncc, gateway, tracer)
+            trace_hash = tracer.hash()
+            kind_counts = tracer.kind_counts()
+        return ScenarioResult(
+            spec=spec,
+            completed=completed,
+            error=error,
+            trace_hash=trace_hash,
+            kind_counts=kind_counts,
+            metrics=metrics,
+            active_history=self.active_history,
+            severity_history=self.severity_history,
+            frame_ok_history=self.frame_ok_history,
+        )
+
+    def _collect(self, sim, world, ncc, gateway, tracer) -> Dict[str, object]:
+        spec = self.spec
+        action_counts: Dict[str, int] = {}
+        for _frame, _carrier, kind, _detail in world.arbiter.actions:
+            action_counts[kind] = action_counts.get(kind, 0) + 1
+        policy_counts: Dict[str, int] = {}
+        for kind, _carrier, _margin in world.policy.events:
+            policy_counts[kind] = policy_counts.get(kind, 0) + 1
+        final_active = len(
+            [
+                k
+                for k in world.policy.active_carriers
+                if k not in world.policy.terminal
+            ]
+        )
+        m = dict(self._m)
+        m.update(
+            {
+                "frames": spec.frames,
+                "final_active": final_active,
+                "terminal_carriers": sorted(world.policy.terminal),
+                "safe_mode": sorted(getattr(world.watchdog, "safe_mode", {})),
+                "actions": dict(sorted(action_counts.items())),
+                "policy_events": dict(sorted(policy_counts.items())),
+                "alarm_trips": {
+                    str(k): mon.trips for k, mon in world.bank.monitors.items()
+                },
+                "policy_transitions": {
+                    str(k): world.policy.transitions_of(k)
+                    for k in range(spec.num_carriers)
+                },
+                "personalities": world.payload.personalities(),
+                "ncc": ncc.stats,
+                "gateway": dict(gateway.stats),
+                "reconfigs": [
+                    {
+                        "function": r.function,
+                        "protocol": r.protocol,
+                        "success": bool(r.success),
+                        "rolled_back": bool(r.rolled_back),
+                    }
+                    for r in ncc.results
+                ],
+                "sim_time": round(sim.now, 6),
+                "sim_events": sim.event_count,
+                "trace_events": tracer.total,
+            }
+        )
+        return m
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Convenience: validate, compile and run one scenario."""
+    return ScenarioRunner(spec).run()
+
+
+def result_violations(result: ScenarioResult) -> List[str]:
+    """Cross-cutting invariants every scenario run must satisfy.
+
+    Returns human-readable violation strings (empty list = clean run).
+    The trace-hash run-to-run reproducibility invariant is checked by
+    the callers that run a spec twice; everything else is here.
+    """
+    spec = result.spec
+    v: List[str] = []
+    if not result.completed:
+        # the no-hang invariant: a run that exceeded its simulated-time
+        # budget or crashed is reported here, never hangs the suite
+        v.append(f"run did not complete: {result.error}")
+        return v
+    m = result.metrics
+    if m["corrupt"]:
+        v.append(
+            f"silent corruption: {m['corrupt']} delivered blocks differed "
+            "from what the terminals sent"
+        )
+    for k, trips in m["alarm_trips"].items():
+        if trips > MAX_ALARM_TRIPS:
+            v.append(f"flapping: carrier {k} alarm tripped {trips} times")
+    for k, n in m["policy_transitions"].items():
+        if n > MAX_POLICY_TRANSITIONS:
+            v.append(f"flapping: carrier {k} shed/restored {n} times")
+    for f in range(1, spec.frames):
+        if (
+            result.severity_history[f] > result.severity_history[f - 1]
+            and result.active_history[f] > result.active_history[f - 1]
+        ):
+            v.append(
+                f"non-monotonic: frame {f} restored capacity while the "
+                "injected fault was worsening"
+            )
+            break
+    expected = (
+        spec.expected_final_active
+        if spec.expected_final_active is not None
+        else spec.num_carriers
+    )
+    if m["final_active"] != expected:
+        v.append(
+            f"no recovery: {m['final_active']} active carriers at end, "
+            f"expected {expected}"
+        )
+    if spec.recovery_tail:
+        tail = result.frame_ok_history[-spec.recovery_tail :]
+        if tail and sum(tail) < len(tail):
+            v.append(
+                f"no recovery: only {sum(tail)}/{len(tail)} clean frames "
+                "in the recovery tail"
+            )
+    if spec.reconfigs:
+        ncc_stats, gw = m["ncc"], m["gateway"]
+        if gw["executed"] != ncc_stats["tc_issued"]:
+            v.append(
+                "exactly-once broken: "
+                f"{ncc_stats['tc_issued']} telecommands issued but "
+                f"{gw['executed']} executed on board"
+            )
+        failed = [r["function"] for r in m["reconfigs"] if not r["success"]]
+        if failed:
+            v.append(f"reconfiguration campaigns failed: {failed}")
+        if len(m["reconfigs"]) != len(spec.reconfigs):
+            v.append(
+                f"only {len(m['reconfigs'])}/{len(spec.reconfigs)} planned "
+                "reconfigurations completed"
+            )
+    return v

@@ -28,7 +28,7 @@ from .kernel import (
     Store,
     Timeout,
 )
-from .rng import RngRegistry, stream
+from .rng import RngRegistry, derive_seed, stream
 
 __all__ = [
     "AllOf",
@@ -38,6 +38,7 @@ __all__ = [
     "Process",
     "Resource",
     "RngRegistry",
+    "derive_seed",
     "Simulator",
     "SimulatorError",
     "Store",

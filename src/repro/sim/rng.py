@@ -21,7 +21,22 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngRegistry", "stream"]
+__all__ = ["RngRegistry", "derive_seed", "stream"]
+
+
+def derive_seed(base: int, *tags: str) -> int:
+    """Derive a child campaign seed from a base seed and string tags.
+
+    Used to give every (scenario, seed) pair of a sweep its own
+    :class:`RngRegistry` without the pairs sharing draws: the mapping is
+    a pure function of ``(base, tags)`` -- stable across runs, processes
+    and insertion orders -- so two runs of the same scenario grid point
+    are bit-identical while distinct grid points are decorrelated.
+    """
+    acc = zlib.crc32(str(int(base)).encode("utf-8"))
+    for tag in tags:
+        acc = zlib.crc32(tag.encode("utf-8"), acc)
+    return acc
 
 
 class RngRegistry:

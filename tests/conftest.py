@@ -1,0 +1,29 @@
+"""Repo-wide test configuration.
+
+Registers hypothesis settings profiles:
+
+- ``default`` -- hypothesis defaults, used for local development;
+- ``ci`` -- derandomized (the failure a CI run finds is the failure the
+  next run reproduces) with a bounded deadline so a slow shared runner
+  cannot flake a property test.
+
+Select with ``HYPOTHESIS_PROFILE=ci`` (the CI workflow does).
+"""
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+except ImportError:  # pragma: no cover - hypothesis always in the test env
+    settings = None
+
+if settings is not None:
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=2000,
+        max_examples=50,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

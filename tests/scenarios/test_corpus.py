@@ -1,0 +1,90 @@
+"""Golden-record mechanics: round-trip, readable diffs, regen plumbing."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    GoldenRecord,
+    ScenarioSpec,
+    diff_records,
+    record_of,
+    run_scenario,
+)
+from repro.scenarios.corpus import load_corpus, regen_corpus, write_record
+
+pytestmark = pytest.mark.scenario
+
+
+def _tiny_spec(name="tiny", **kw):
+    return ScenarioSpec(name=name, frames=6, recovery_tail=2, **kw)
+
+
+@pytest.fixture(scope="module")
+def tiny_record():
+    return record_of(run_scenario(_tiny_spec()))
+
+
+def test_record_json_round_trip(tiny_record):
+    again = GoldenRecord.from_json(tiny_record.to_json())
+    assert again == tiny_record
+    # the serialized form is valid, sorted JSON
+    payload = json.loads(tiny_record.to_json())
+    assert payload["name"] == "tiny"
+    assert payload["trace_hash"] == tiny_record.trace_hash
+
+
+def test_write_and_load_corpus(tmp_path, tiny_record):
+    path = write_record(tmp_path, tiny_record)
+    assert path.name == "tiny.json"
+    corpus = load_corpus(tmp_path)
+    assert corpus == {"tiny": tiny_record}
+
+
+def test_identical_records_diff_empty(tiny_record):
+    assert diff_records(tiny_record, tiny_record) == []
+
+
+def test_diff_is_readable_not_just_a_hash(tiny_record):
+    """A drift report names the diverging metric/event, not only hashes."""
+    drifted_metrics = dict(tiny_record.metrics)
+    drifted_metrics["delivered"] = drifted_metrics["delivered"] - 2
+    drifted_counts = dict(tiny_record.kind_counts)
+    first_kind = sorted(drifted_counts)[0]
+    drifted_counts[first_kind] += 3
+    new = GoldenRecord(
+        name=tiny_record.name,
+        spec_hash=tiny_record.spec_hash,
+        trace_hash="0" * 64,
+        kind_counts=drifted_counts,
+        metrics=drifted_metrics,
+        spec=tiny_record.spec,
+    )
+    lines = diff_records(tiny_record, new)
+    text = "\n".join(lines)
+    assert "metric delivered" in text
+    assert f"trace kind {first_kind}" in text
+    assert "-> 0000" in text or "trace hash" in text
+
+
+def test_diff_flags_spec_change(tiny_record):
+    other = record_of(run_scenario(_tiny_spec(seed=1)))
+    lines = diff_records(tiny_record, other)
+    assert any("spec changed" in line for line in lines)
+
+
+def test_regen_dry_run_against_fresh_corpus_is_noop(tmp_path):
+    spec = _tiny_spec(name="regen-tiny")
+    diffs = regen_corpus(directory=tmp_path, specs=[spec])
+    assert diffs == {"regen-tiny": ["new record"]}
+    diffs = regen_corpus(directory=tmp_path, specs=[spec], dry_run=True)
+    assert diffs == {"regen-tiny": []}
+    # dry run did not touch the file set
+    assert [p.name for p in sorted(tmp_path.glob("*.json"))] == [
+        "regen-tiny.json"
+    ]
+
+
+def test_regen_only_rejects_unknown_names(tmp_path):
+    with pytest.raises(KeyError):
+        regen_corpus(directory=tmp_path, only=["no-such-scenario"])

@@ -1,0 +1,35 @@
+"""The --regen CLI: dry run against the checked-in corpus is a no-op,
+and the CLI surface behaves."""
+
+import pytest
+
+from repro.scenarios.__main__ import main
+
+pytestmark = pytest.mark.scenario
+
+
+def test_regen_dry_run_is_a_noop_against_checked_in_corpus(capsys):
+    """Acceptance: `--regen --dry-run` reports zero drift on a fresh tree."""
+    rc = main(["--regen", "--dry-run", "--only", "nominal", "--only", "decoder-seu"])
+    out = capsys.readouterr().out
+    assert rc == 0, f"dry-run regen found drift:\n{out}"
+    assert "nominal" in out and "decoder-seu" in out
+    assert "would change" not in out
+
+
+def test_cli_list_names_all_scenarios(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("nominal", "rain-fade", "lossy-ground"):
+        assert name in out
+
+
+def test_cli_run_unknown_scenario_fails_cleanly(capsys):
+    assert main(["--run", "no-such-mission"]) == 2
+
+
+def test_cli_run_reports_summary(capsys):
+    assert main(["--run", "nominal"]) == 0
+    out = capsys.readouterr().out
+    assert "trace hash" in out
+    assert "delivered" in out

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-perf test-scenarios all
+.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-overload test-perf test-scenarios all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -21,6 +21,9 @@ test-robustness:  ## fault-tolerance layer: retry, TC/TM transactions, watchdog,
 
 test-fdir:  ## traffic-plane FDIR: health monitors, recovery ladder, degraded modes, traffic chaos
 	$(PYTHON) -m pytest -m fdir tests/
+
+test-overload:  ## demand-plane overload control: admission, backpressure, deadlines, brownout, surge chaos
+	$(PYTHON) -m pytest -m overload tests/
 
 test-perf:  ## batched burst-processing throughput baseline (prints bursts/sec tables)
 	$(PYTHON) -m pytest benchmarks/bench_perf_burst_batch.py -s

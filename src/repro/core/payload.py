@@ -70,15 +70,28 @@ class PacketSwitch:
     Packets are byte strings whose first byte is the destination
     down-link port; the switch routes them into per-port queues and
     counts drops on unknown ports.
+
+    Per-port queues are bounded (``queue_capacity`` packets): an
+    on-board switch has finite buffer memory, and a downlink port that
+    is not being drained must shed (``queue_dropped``) rather than
+    grow until the payload runs out of RAM.
     """
 
-    def __init__(self, num_ports: int = 4) -> None:
+    def __init__(self, num_ports: int = 4, queue_capacity: int = 1024) -> None:
         if num_ports < 1:
             raise ValueError("need at least one port")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
         self.num_ports = num_ports
+        self.queue_capacity = queue_capacity
         self.queues: List[List[bytes]] = [[] for _ in range(num_ports)]
         self.routed = 0
         self.dropped = 0
+        self.queue_dropped = 0
+
+    def backpressure(self, port: int) -> bool:
+        """True when a down-link port's queue can accept no more."""
+        return len(self.queues[port]) >= self.queue_capacity
 
     def route(self, packet: bytes) -> Optional[int]:
         """Route one packet; returns the port or None when dropped."""
@@ -88,6 +101,9 @@ class PacketSwitch:
         port = packet[0] % 256
         if port >= self.num_ports:
             self.dropped += 1
+            return None
+        if len(self.queues[port]) >= self.queue_capacity:
+            self.queue_dropped += 1
             return None
         self.queues[port].append(packet[1:])
         self.routed += 1
@@ -160,6 +176,9 @@ class RegenerativePayload:
         #: ``observe_burst(carrier, diag)`` / ``observe_decode(carrier,
         #: ok)``, e.g. :class:`repro.robustness.fdir.HealthMonitorBank`)
         self.health = None
+        #: optional per-carrier MF-TDMA burst request queues (CoDel);
+        #: ``None`` until :meth:`attach_burst_queues`
+        self.burst_queues = None
 
     def attach_health(self, bank) -> None:
         """Attach a per-carrier health monitor bank to the live chain.
@@ -170,6 +189,58 @@ class RegenerativePayload:
         outcome to ``bank.observe_decode`` -- the FDIR detection path.
         """
         self.health = bank
+
+    # -- overload control ---------------------------------------------------
+    def attach_burst_queues(
+        self,
+        clock,
+        capacity: int = 64,
+        target: float = 0.5,
+        interval: float = 2.0,
+    ) -> None:
+        """Give each carrier a bounded CoDel queue of burst requests.
+
+        The MF-TDMA slot plan serves one burst per carrier per frame;
+        anything offered beyond that has to wait, and under sustained
+        surge "wait" must not mean "forever".  Each carrier's queue is
+        bounded (backpressure at ``capacity``) and CoDel-shed on
+        sojourn time, so a standing backlog melts instead of serving
+        requests whose useful lifetime has already passed.
+
+        ``clock`` is a zero-arg callable returning simulated seconds
+        (``lambda: sim.now``).  After attachment, feed demand through
+        :meth:`offer_burst` and drain one request per frame with
+        :meth:`next_burst`.
+        """
+        from ..robustness.overload.queues import CoDelQueue
+
+        self.burst_queues = [
+            CoDelQueue(
+                clock,
+                capacity=capacity,
+                target=target,
+                interval=interval,
+                name=f"burst{k}",
+            )
+            for k in range(self.config.num_carriers)
+        ]
+
+    def offer_burst(self, carrier: int, request) -> bool:
+        """Queue one burst request for a carrier (False = backpressure)."""
+        if self.burst_queues is None:
+            raise RuntimeError("attach_burst_queues first")
+        return self.burst_queues[carrier].offer(request)
+
+    def next_burst(self, carrier: int):
+        """The next surviving burst request for a carrier (or None).
+
+        CoDel shedding happens here, at dequeue: requests that sat in a
+        standing queue past the sojourn target are shed and counted on
+        the queue's stats rather than returned.
+        """
+        if self.burst_queues is None:
+            raise RuntimeError("attach_burst_queues first")
+        return self.burst_queues[carrier].poll()
 
     # -- bring-up ---------------------------------------------------------
     def boot(self, modem: str = "modem.tdma", decoder: str = "decod.conv") -> None:

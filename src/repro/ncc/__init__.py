@@ -6,11 +6,17 @@ link), issues the reconfiguration telecommands, monitors the CRC
 telemetry and distributes reconfiguration policies via COPS.
 """
 
-from .campaign import CampaignResult, NetworkControlCenter, SatelliteGateway
+from .campaign import (
+    BoundedUploadStore,
+    CampaignResult,
+    NetworkControlCenter,
+    SatelliteGateway,
+)
 from .policy import PolicyDrivenSatellite, ReconfigurationPolicyServer
 from .traffic import MissionPlanner, PlannedChange, ServiceMix, TrafficModel
 
 __all__ = [
+    "BoundedUploadStore",
     "CampaignResult",
     "MissionPlanner",
     "NetworkControlCenter",

@@ -28,6 +28,7 @@ telecommand port onto the on-board controller.
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -52,7 +53,13 @@ from ..robustness.policy import RetryPolicy, run_with_retry
 from ..robustness.transactions import TC_PORT, TcDedupCache, TcTransactionClient
 from ..sim import Simulator
 
-__all__ = ["NetworkControlCenter", "SatelliteGateway", "CampaignResult", "TC_PORT"]
+__all__ = [
+    "BoundedUploadStore",
+    "CampaignResult",
+    "NetworkControlCenter",
+    "SatelliteGateway",
+    "TC_PORT",
+]
 
 #: Default retry policy for bitstream uploads (three attempts; the
 #: protocols' own ARQ handles per-block losses, this covers whole-
@@ -101,6 +108,42 @@ def _normalize_telemetry(payload: dict) -> dict:
     return out
 
 
+class BoundedUploadStore(dict):
+    """Upload store with a size cap and a bounded transfer history.
+
+    The TFTP/FTP/SCPS servers write completed transfers straight into
+    this dict; a soak campaign uploading thousands of bitstreams must
+    not keep every blob forever, so past ``max_files`` the oldest
+    upload is evicted FIFO (``evicted`` counts them).  ``history`` is a
+    ``deque(maxlen=...)`` of ``(filename, size_bytes)`` records --
+    telemetry for operators, bounded by construction; overflow of the
+    history itself is counted in ``history_evicted``.
+    """
+
+    def __init__(self, max_files: int = 64, history_len: int = 256) -> None:
+        if max_files < 1 or history_len < 1:
+            raise ValueError("max_files and history_len must be >= 1")
+        super().__init__()
+        self.max_files = max_files
+        self.history: deque[tuple[str, int]] = deque(maxlen=history_len)
+        self.evicted = 0
+        self.history_evicted = 0
+        self._order: deque[str] = deque()
+
+    def __setitem__(self, key: str, value: bytes) -> None:
+        if key not in self:
+            self._order.append(key)
+        if len(self.history) == self.history.maxlen:
+            self.history_evicted += 1
+        self.history.append((key, len(value)))
+        super().__setitem__(key, value)
+        while len(self) > self.max_files:
+            oldest = self._order.popleft()
+            if oldest in self:
+                super().__delitem__(oldest)
+                self.evicted += 1
+
+
 class SatelliteGateway:
     """Space-side servers: upload endpoints + telecommand port.
 
@@ -122,24 +165,58 @@ class SatelliteGateway:
         payload: RegenerativePayload,
         uploads: Optional[Dict[str, bytes]] = None,
         dedup_capacity: int = 256,
+        admission=None,
+        tc_queue_capacity: int = 256,
     ) -> None:
         self.node = node
         self.payload = payload
         self.obc: OnBoardController = payload.obc
-        self.uploads: Dict[str, bytes] = uploads if uploads is not None else {}
+        self.uploads: Dict[str, bytes] = (
+            uploads if uploads is not None else BoundedUploadStore()
+        )
         self.tftp = TftpServer(node.ip, self.uploads)
         self.ftp = FtpServer(node.ip, self.uploads)
         self.scps = ScpsFpReceiver(node.ip, files=self.uploads)
         self.dedup = TcDedupCache(capacity=dedup_capacity)
+        #: optional :class:`repro.robustness.overload.AdmissionController`
+        #: gating TC execution by priority class at the space-side ingress
+        self.admission = admission
         self.stats = {
             "tc_received": 0,
             "executed": 0,
             "dedup_hits": 0,
             "rejected": 0,
+            "shed_expired": 0,
+            "shed_admission": 0,
         }
         self._probe = _obs_probe("ncc.gateway", node=node.name)
-        self._tc_sock = UdpSocket(node.ip, TC_PORT)
+        self._tc_sock = UdpSocket(node.ip, TC_PORT, recv_capacity=tc_queue_capacity)
         node.sim.process(self._tc_server(), name="sat-tc-server")
+
+    def _shed(self, kind: str, tc_id, addr, port, reason: str) -> None:
+        """Refuse a TC cheaply: count, trace, answer -- never execute.
+
+        Shed replies are **not** dedup-cached: a retransmission of the
+        same ``tc_id`` that arrives once pressure has eased (or still
+        inside its deadline, for admission sheds) deserves a fresh
+        decision, not a replay of the refusal.
+        """
+        self.stats[kind] += 1
+        p = self._probe
+        if p is not None:
+            p.count(kind)
+            p.event(
+                "overload.gateway_shed",
+                t=self.node.sim.now,
+                tc_id=tc_id if isinstance(tc_id, int) else -1,
+                reason=reason,
+            )
+        reply = {
+            "tc_id": tc_id if isinstance(tc_id, int) else -1,
+            "success": False,
+            "payload": {"error": reason, "shed": True},
+        }
+        self._tc_sock.sendto(json.dumps(reply).encode(), addr, port)
 
     def _tc_server(self):
         p = self._probe
@@ -166,6 +243,29 @@ class SatelliteGateway:
                                 tc_id=tc_id,
                             )
                         self._tc_sock.sendto(cached, addr, port)
+                        continue
+                # -- overload gates, cheapest first: an expired TC is
+                # shed before execution (its ground caller has already
+                # given up on the result), then admission by class
+                if isinstance(msg, dict):
+                    expires = msg.get("deadline")
+                    if (
+                        isinstance(expires, (int, float))
+                        and self.node.sim.now >= expires
+                    ):
+                        self._shed(
+                            "shed_expired", tc_id, addr, port, "deadline-expired"
+                        )
+                        continue
+                    cls = msg.get("cls")
+                    if (
+                        self.admission is not None
+                        and cls is not None
+                        and not self.admission.admit(cls)
+                    ):
+                        self._shed(
+                            "shed_admission", tc_id, addr, port, "admission"
+                        )
                         continue
                 tc = Telecommand(msg["tc_id"], msg["action"], msg.get("args", {}))
                 if tc.action == "store":
@@ -234,7 +334,10 @@ class NetworkControlCenter:
         tc_policy: Optional[RetryPolicy] = None,
         upload_policy: Optional[RetryPolicy] = None,
         rng=None,
+        max_results: int = 1024,
     ) -> None:
+        if max_results < 1:
+            raise ValueError("max_results must be >= 1")
         self.node = node
         self.sim: Simulator = node.sim
         self.registry = registry
@@ -246,7 +349,21 @@ class NetworkControlCenter:
             node, sat_address, policy=tc_policy, rng=rng
         )
         self._tc_id = 0
-        self.results: list[CampaignResult] = []
+        #: bounded campaign history: soak runs issuing thousands of
+        #: campaigns keep only the most recent ``max_results`` (older
+        #: ones are counted in ``results_evicted``, totals stay exact)
+        self.results: deque[CampaignResult] = deque(maxlen=max_results)
+        self.results_evicted = 0
+        self._campaigns_total = 0
+        self._campaigns_ok_total = 0
+
+    def _record(self, result: CampaignResult) -> None:
+        if len(self.results) == self.results.maxlen:
+            self.results_evicted += 1
+        self.results.append(result)
+        self._campaigns_total += 1
+        if result.success:
+            self._campaigns_ok_total += 1
 
     @property
     def stats(self) -> dict:
@@ -260,22 +377,27 @@ class NetworkControlCenter:
         """
         out = dict(self.tc.stats)
         out["tc_issued"] = self._tc_id
-        out["campaigns"] = len(self.results)
-        out["campaigns_ok"] = sum(1 for r in self.results if r.success)
+        out["campaigns"] = self._campaigns_total
+        out["campaigns_ok"] = self._campaigns_ok_total
+        out["results_evicted"] = self.results_evicted
         return out
 
     # -- telecommand round trip ------------------------------------------------
-    def send_telecommand(self, action: str, args: dict):
+    def send_telecommand(self, action: str, args: dict, deadline=None, cls=None):
         """Generator: one reliable TC transaction; returns the TM reply dict.
 
         The transaction layer retransmits on a sim-time timeout instead
         of blocking forever on a dropped TC or TM datagram, and raises
         :class:`~repro.robustness.RetryExhausted` once the policy budget
         is spent -- a dead link is detected at a *bounded* simulated
-        time.
+        time.  ``deadline`` / ``cls`` thread the overload-control
+        budget and priority class down to the gateway (see
+        :meth:`~repro.robustness.TcTransactionClient.request`).
         """
         self._tc_id += 1
-        reply = yield from self.tc.request(self._tc_id, action, args)
+        reply = yield from self.tc.request(
+            self._tc_id, action, args, deadline=deadline, cls=cls
+        )
         return reply
 
     # -- uploads ----------------------------------------------------------------
@@ -293,8 +415,12 @@ class NetworkControlCenter:
         else:
             raise ValueError(f"unknown protocol {protocol!r}")
 
-    def upload(self, filename: str, blob: bytes, protocol: str):
-        """Generator: push a file, retrying failed transfers under policy."""
+    def upload(self, filename: str, blob: bytes, protocol: str, deadline=None):
+        """Generator: push a file, retrying failed transfers under policy.
+
+        ``deadline`` caps the retry loop end-to-end (no attempt starts
+        after expiry; backoffs never overshoot it).
+        """
         if protocol not in ("tftp", "ftp", "scps"):
             raise ValueError(f"unknown protocol {protocol!r}")
         yield from run_with_retry(
@@ -304,6 +430,7 @@ class NetworkControlCenter:
             rng=self.rng,
             retry_on=UPLOAD_RETRY_ON,
             name=f"upload.{protocol}",
+            deadline=deadline,
         )
 
     # -- the full campaign ---------------------------------------------------------
@@ -313,6 +440,8 @@ class NetworkControlCenter:
         function: str,
         protocol: str = "ftp",
         version: int = 1,
+        deadline_budget: Optional[float] = None,
+        priority: Optional[str] = None,
     ):
         """Generator: upload + store + reconfigure + collect telemetry.
 
@@ -320,19 +449,37 @@ class NetworkControlCenter:
         the full-campaign result paths carry normalized telemetry (the
         ``crc`` / ``rolled_back`` / ``safe_mode`` keys are always
         present).
+
+        ``deadline_budget`` (seconds) puts the *whole* campaign --
+        upload, store, reconfigure -- under one end-to-end deadline:
+        every hop checks the remaining budget and an expired campaign
+        raises :class:`~repro.robustness.overload.DeadlineExceeded`
+        instead of consuming further link capacity.  ``priority`` tags
+        the telecommands with a class for the gateway's admission
+        controller.
         """
+        deadline = None
+        if deadline_budget is not None:
+            from ..robustness.overload.deadline import Deadline
+
+            deadline = Deadline.after(self.sim.now, deadline_budget)
         design = self.registry.get(function)
         bitstream = design.bitstream_for(*self.geometry)
         blob = bitstream.to_bytes()
         filename = f"{function}@{version}.bit"
 
         t0 = self.sim.now
-        yield from self.upload(filename, blob, protocol)
+        yield from self.upload(filename, blob, protocol, deadline=deadline)
         t_upload = self.sim.now - t0
+        if deadline is not None:
+            deadline.check(self.sim.now, "campaign.store")
 
         t1 = self.sim.now
         reply = yield from self.send_telecommand(
-            "store", {"file": filename, "function": function, "version": version}
+            "store",
+            {"file": filename, "function": function, "version": version},
+            deadline=deadline,
+            cls=priority,
         )
         if not reply["success"]:
             telemetry = _normalize_telemetry(reply["payload"])
@@ -347,11 +494,15 @@ class NetworkControlCenter:
                 telemetry=telemetry,
                 safe_mode=bool(telemetry["safe_mode"]),
             )
-            self.results.append(result)
+            self._record(result)
             return result
+        if deadline is not None:
+            deadline.check(self.sim.now, "campaign.reconfigure")
         reply = yield from self.send_telecommand(
             "reconfigure",
             {"equipment": equipment, "function": function, "version": version},
+            deadline=deadline,
+            cls=priority,
         )
         t_cmd = self.sim.now - t1
         telemetry = _normalize_telemetry(reply["payload"])
@@ -366,5 +517,5 @@ class NetworkControlCenter:
             telemetry=telemetry,
             safe_mode=bool(telemetry["safe_mode"]),
         )
-        self.results.append(result)
+        self._record(result)
         return result

@@ -34,9 +34,19 @@ class ServiceMix:
     total_mbps: float
 
     def __post_init__(self) -> None:
+        # eager validation: a bad mix must fail where it is built, not
+        # deep inside a planner or admission controller that trusted it
+        for name in ("voice", "text", "video"):
+            f = getattr(self, name)
+            if not 0.0 <= f <= 1.0:
+                raise ValueError(f"{name} fraction must be in [0, 1], got {f}")
         s = self.voice + self.text + self.video
         if not np.isclose(s, 1.0, atol=1e-6):
             raise ValueError(f"service fractions must sum to 1, got {s}")
+        if self.total_mbps < 0:
+            raise ValueError(f"total_mbps must be >= 0, got {self.total_mbps}")
+        if self.year < 0:
+            raise ValueError(f"year must be >= 0, got {self.year}")
 
 
 class TrafficModel:
@@ -79,9 +89,20 @@ class TrafficModel:
         return ServiceMix(year=year, voice=voice, text=text, video=video, total_mbps=total)
 
     def years_until_voice_below(self, fraction: float) -> float:
-        """Mission year when voice drops under ``fraction`` of traffic."""
-        if not self.vf < fraction < self.v0:
-            raise ValueError("fraction outside the model's range")
+        """Mission year when voice drops under ``fraction`` of traffic.
+
+        A fraction the launch mix is *already* below answers 0.0 (the
+        condition holds from year zero); only a fraction at or below
+        the asymptotic floor -- which the decay never reaches -- is an
+        error.
+        """
+        if fraction >= self.v0:
+            return 0.0
+        if fraction <= self.vf:
+            raise ValueError(
+                f"voice never drops below its floor ({self.vf}); "
+                f"asked for {fraction}"
+            )
         return float(-self.tau * np.log((fraction - self.vf) / (self.v0 - self.vf)))
 
 
@@ -128,13 +149,22 @@ class MissionPlanner:
         return mix.total_mbps * weight * self.PEAK_FACTOR / users
 
     def schedule(self, users: int = 100) -> list[PlannedChange]:
-        """The mission's reconfiguration plan (yearly granularity)."""
+        """The mission's reconfiguration plan (yearly granularity).
+
+        Epochs are the whole mission years plus, for a fractional
+        mission length (say 7.5 years), the end-of-mission boundary
+        itself -- a demand threshold crossed in the final half year
+        used to be silently missed.
+        """
+        epochs = [float(y) for y in range(int(self.mission_years) + 1)]
+        if self.mission_years > epochs[-1]:
+            epochs.append(float(self.mission_years))
         changes: list[PlannedChange] = []
         waveform = "modem.cdma"
         decoder = "decod.none"
-        for year in range(int(self.mission_years) + 1):
-            demand = self.per_user_demand(float(year), users)
-            mix = self.model.mix_at(float(year))
+        for year in epochs:
+            demand = self.per_user_demand(year, users)
+            mix = self.model.mix_at(year)
             if waveform == "modem.cdma" and demand > self.CDMA_CEILING_MBPS:
                 waveform = "modem.tdma"
                 changes.append(PlannedChange(

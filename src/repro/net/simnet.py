@@ -36,6 +36,16 @@ class Link:
     then arrive ``delay`` seconds later.  Each frame survives with
     probability ``(1 - ber) ** bits``; corrupted frames are dropped (the
     link layer's CRC would discard them) and counted.
+
+    The per-direction transmit backlog is **bounded**
+    (``max_backlog_frames``): a frame offered to a direction whose
+    modulator already has that many frames waiting is dropped at the
+    transmitter and counted (``stats["backlog_dropped"]``) -- real
+    modems have finite buffers, and an unbounded serialization queue
+    is exactly the hidden unbounded queue overload control exists to
+    remove.  :meth:`backlog_of` / :meth:`backpressure` expose the
+    occupancy so upstream hops (TMTC AD sender, gateway) can defer
+    instead of blind-firing into a full buffer.
     """
 
     def __init__(
@@ -47,6 +57,7 @@ class Link:
         rng: Optional[np.random.Generator] = None,
         name: str = "link",
         error_mode: str = "drop",
+        max_backlog_frames: int = 256,
     ) -> None:
         if delay < 0 or rate_bps <= 0:
             raise ValueError("delay must be >= 0 and rate positive")
@@ -56,6 +67,8 @@ class Link:
             raise ValueError("a lossy link needs an rng")
         if error_mode not in ("drop", "flip"):
             raise ValueError("error_mode must be 'drop' or 'flip'")
+        if max_backlog_frames < 1:
+            raise ValueError("max_backlog_frames must be >= 1")
         self.sim = sim
         self.delay = delay
         self.rate_bps = rate_bps
@@ -66,10 +79,13 @@ class Link:
         #: would); "flip" delivers frames with independent bit errors,
         #: letting channel coding (e.g. the BCH CLTU) correct them.
         self.error_mode = error_mode
+        self.max_backlog_frames = max_backlog_frames
         self._endpoints: list["Node"] = []
         # per-direction serialization cursor (when the TX becomes free)
         self._tx_free: dict[int, float] = {0: 0.0, 1: 0.0}
-        self.stats = {"frames": 0, "dropped": 0, "bytes": 0}
+        # per-direction frames waiting for / in serialization
+        self._backlog: dict[int, int] = {0: 0, 1: 0}
+        self.stats = {"frames": 0, "dropped": 0, "bytes": 0, "backlog_dropped": 0}
         self._probe = _obs_probe("net.link", link=name)
 
     def attach(self, node: "Node") -> None:
@@ -86,6 +102,14 @@ class Link:
         a, b = self._endpoints
         return b if node is a else a
 
+    def backlog_of(self, sender: "Node") -> int:
+        """Frames waiting for (or in) serialization in sender's direction."""
+        return self._backlog[self._endpoints.index(sender)]
+
+    def backpressure(self, sender: "Node") -> bool:
+        """True when sender's direction can accept no more frames."""
+        return self.backlog_of(sender) >= self.max_backlog_frames
+
     def transmit(self, sender: "Node", frame: bytes) -> None:
         """Send a frame to the peer (fire-and-forget, simulated time)."""
         peer = self.peer_of(sender)
@@ -93,9 +117,26 @@ class Link:
         bits = 8 * len(frame)
         ser = bits / self.rate_bps
         now = self.sim.now
+        if self._backlog[direction] >= self.max_backlog_frames:
+            # transmit buffer full: shed at the modulator, never queue
+            # unboundedly in time.
+            self.stats["backlog_dropped"] += 1
+            p = self._probe
+            if p is not None:
+                p.count("backlog_dropped")
+                p.event(
+                    "overload.link_drop",
+                    t=now,
+                    link=self.name,
+                    direction=direction,
+                    backlog=self._backlog[direction],
+                )
+            return
         start = max(now, self._tx_free[direction])
         done = start + ser
         self._tx_free[direction] = done
+        self._backlog[direction] += 1
+        self.sim.call_at(done, lambda d=direction: self._tx_done(d))
         self.stats["frames"] += 1
         self.stats["bytes"] += len(frame)
         p = self._probe
@@ -128,6 +169,9 @@ class Link:
                         p.event("link.flip", t=now, bits=n_err)
         arrival = done + self.delay
         self.sim.call_at(arrival, lambda: peer._deliver(frame))
+
+    def _tx_done(self, direction: int) -> None:
+        self._backlog[direction] -= 1
 
 
 class Node:

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import binascii
 import struct
-from typing import Callable, Dict, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..obs.probes import probe as _obs_probe
 from ..sim import Simulator
@@ -80,27 +81,56 @@ class TcFrame:
 
 
 class _AdSender:
-    """COP-1-style FOP: go-back-N over one virtual channel."""
+    """COP-1-style FOP: go-back-N over one virtual channel.
 
-    def __init__(self, layer: "TmtcLayer", vc: int, window: int, rto: float):
+    The unsent backlog is bounded (``max_backlog`` frames): a submit
+    that finds it full is refused (``False`` + ``backlog_dropped``),
+    which is the backpressure signal the layer surfaces through
+    :meth:`TmtcLayer.backpressure`.
+    """
+
+    def __init__(
+        self,
+        layer: "TmtcLayer",
+        vc: int,
+        window: int,
+        rto: float,
+        max_backlog: int = 512,
+    ):
         self.layer = layer
         self.vc = vc
         self.window = window
         self.rto = rto
+        self.max_backlog = max_backlog
         self.ns = 0  # next sequence to use
         self.na = 0  # oldest unacked
-        self.backlog: list[tuple[int, bytes]] = []  # (flags, data) unsent
+        self.backlog: Deque[Tuple[int, bytes]] = deque()  # (flags, data) unsent
         self.sent: Dict[int, tuple[int, bytes]] = {}  # seq -> (flags, data)
         self._timer_gen = 0
         self.retransmissions = 0
+        self.backlog_dropped = 0
 
-    def submit(self, flags: int, data: bytes) -> None:
+    def submit(self, flags: int, data: bytes) -> bool:
+        if len(self.backlog) >= self.max_backlog:
+            self.backlog_dropped += 1
+            self.layer.stats["backlog_dropped"] += 1
+            p = self.layer._probe
+            if p is not None:
+                p.count("backlog_dropped")
+                p.event(
+                    "overload.tmtc_drop",
+                    t=self.layer.sim.now,
+                    vc=self.vc,
+                    backlog=len(self.backlog),
+                )
+            return False
         self.backlog.append((flags, data))
         self._pump()
+        return True
 
     def _pump(self) -> None:
         while self.backlog and (self.ns - self.na) < self.window:
-            flags, data = self.backlog.pop(0)
+            flags, data = self.backlog.popleft()
             frame = TcFrame(self.vc, flags | _F_MODE_AD, self.ns & 0xFFFF, data)
             self.sent[self.ns] = (flags, data)
             self.layer._emit(frame)
@@ -189,9 +219,13 @@ class TmtcLayer:
         rto: float = 1.2,
         frame_data_max: int = FRAME_DATA_MAX,
         cltu: bool = False,
+        max_backlog_frames: int = 512,
+        max_reassembly_bytes: int = 1 << 20,
     ) -> None:
         if frame_data_max < 16:
             raise ValueError("frame_data_max too small")
+        if max_backlog_frames < 1 or max_reassembly_bytes < frame_data_max:
+            raise ValueError("backlog/reassembly bounds too small")
         self.node = node
         self.sim: Simulator = node.sim
         self.window = window
@@ -201,11 +235,22 @@ class TmtcLayer:
         #: service's error control); requires the peer to enable it too
         self.cltu = cltu
         self.cltu_corrections = 0
+        #: per-VC cap on unsent AD frames (backpressure past this)
+        self.max_backlog_frames = max_backlog_frames
+        #: cap on one in-progress reassembly (a FIRST/CONT stream that
+        #: never ends must not grow memory without bound)
+        self.max_reassembly_bytes = max_reassembly_bytes
         self._senders: Dict[int, _AdSender] = {}
         self._receivers: Dict[int, _FarmReceiver] = {}
         self._reassembly: Dict[int, bytearray] = {}
+        self.stats = {
+            "frames_out": 0,
+            "frames_in": 0,
+            "bad_frames": 0,
+            "backlog_dropped": 0,
+            "reassembly_overflow": 0,
+        }
         self._handlers: Dict[int, Callable[[bytes], None]] = {}
-        self.stats = {"frames_out": 0, "frames_in": 0, "bad_frames": 0}
         self._probe = _obs_probe("net.tmtc", node=node.name)
         node.frame_tap = self._on_raw  # intercept all link deliveries
         self._ip_vc: Optional[int] = None
@@ -215,11 +260,19 @@ class TmtcLayer:
         """Deliver reassembled SDUs on ``vc`` to ``handler``."""
         self._handlers[vc] = handler
 
-    def send_sdu(self, data: bytes, vc: int = 0, mode: str = "AD") -> None:
+    def backpressure(self, vc: int = 0) -> bool:
+        """True when ``vc``'s AD backlog can accept no more frames."""
+        sender = self._senders.get(vc)
+        return sender is not None and len(sender.backlog) >= sender.max_backlog
+
+    def send_sdu(self, data: bytes, vc: int = 0, mode: str = "AD") -> bool:
         """Segment and send one SDU on a virtual channel.
 
         ``mode="AD"`` (controlled) runs go-back-N ARQ; ``mode="BD"``
-        (express) sends each frame exactly once.
+        (express) sends each frame exactly once.  Returns ``False``
+        (and counts ``backlog_dropped``) when the AD backlog cannot
+        take the whole SDU -- backpressure, not a partial send: an SDU
+        with missing segments would only be discarded at reassembly.
         """
         if mode not in ("AD", "BD"):
             raise ValueError("mode must be 'AD' or 'BD'")
@@ -232,6 +285,22 @@ class TmtcLayer:
             data[i : i + self.frame_data_max]
             for i in range(0, max(len(data), 1), self.frame_data_max)
         ]
+        if mode == "AD":
+            sender = self._ad_sender(vc)
+            if len(sender.backlog) + len(chunks) > sender.max_backlog:
+                sender.backlog_dropped += 1
+                self.stats["backlog_dropped"] += 1
+                p = self._probe
+                if p is not None:
+                    p.count("backlog_dropped")
+                    p.event(
+                        "overload.tmtc_drop",
+                        t=self.sim.now,
+                        vc=vc,
+                        backlog=len(sender.backlog),
+                        sdu_frames=len(chunks),
+                    )
+                return False
         for i, chunk in enumerate(chunks):
             if len(chunks) == 1:
                 seg = _SEG_UNSEG
@@ -245,6 +314,7 @@ class TmtcLayer:
                 self._ad_sender(vc).submit(seg, chunk)
             else:
                 self._emit(TcFrame(vc, seg, 0, chunk))
+        return True
 
     def install_under_ip(self, vc: int = 1, mode: str = "AD") -> None:
         """Carry the node's IP datagrams over a TC virtual channel.
@@ -268,7 +338,9 @@ class TmtcLayer:
     def _ad_sender(self, vc: int) -> _AdSender:
         s = self._senders.get(vc)
         if s is None:
-            s = _AdSender(self, vc, self.window, self.rto)
+            s = _AdSender(
+                self, vc, self.window, self.rto, max_backlog=self.max_backlog_frames
+            )
             self._senders[vc] = s
         return s
 
@@ -339,6 +411,14 @@ class TmtcLayer:
         buf = self._reassembly.setdefault(vc, bytearray())
         if seg == _SEG_FIRST:
             buf.clear()
+        if len(buf) + len(data) > self.max_reassembly_bytes:
+            # a runaway FIRST/CONT stream: drop the whole reassembly
+            # rather than grow without bound
+            buf.clear()
+            self.stats["reassembly_overflow"] += 1
+            if self._probe is not None:
+                self._probe.count("reassembly_overflow")
+            return
         buf.extend(data)
         if seg == _SEG_LAST:
             sdu = bytes(buf)

@@ -31,7 +31,14 @@ class UdpSocket:
     # across runs and break trace determinism.
     _EPHEMERAL_BASE = 49152
 
-    def __init__(self, stack: IpStack, port: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        stack: IpStack,
+        port: Optional[int] = None,
+        recv_capacity: Optional[int] = None,
+    ) -> None:
+        if recv_capacity is not None and recv_capacity < 1:
+            raise ValueError("recv_capacity must be >= 1")
         self.stack = stack
         self.node = stack.node
         if port is None:
@@ -43,6 +50,11 @@ class UdpSocket:
             raise OSError(f"port {port} already bound on {self.node.name}")
         self.port = port
         self._queue = Store(self.node.sim)
+        #: bound on queued datagrams; ``None`` keeps the historical
+        #: unbounded behaviour for short-lived protocol sockets
+        self.recv_capacity = recv_capacity
+        #: datagrams discarded because the receive queue was full
+        self.dropped = 0
         demux[port] = self
         self.closed = False
 
@@ -87,6 +99,13 @@ class UdpSocket:
 
     # -- stack plumbing ----------------------------------------------------
     def _on_datagram(self, payload: bytes, src_addr: int, src_port: int) -> None:
+        if (
+            self.recv_capacity is not None
+            and len(self._queue) >= self.recv_capacity
+        ):
+            # bounded socket buffer: tail-drop like a real kernel
+            self.dropped += 1
+            return
         self._queue.put((payload, (src_addr, src_port)))
 
 

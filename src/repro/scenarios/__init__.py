@@ -44,6 +44,7 @@ from .spec import (
     ReconfigAction,
     ScenarioError,
     ScenarioSpec,
+    SurgeProfile,
     TrafficMix,
 )
 
@@ -61,6 +62,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioRunner",
     "ScenarioSpec",
+    "SurgeProfile",
     "TrafficMix",
     "VcModeOracle",
     "canonical_scenarios",

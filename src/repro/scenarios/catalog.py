@@ -26,6 +26,7 @@ from .spec import (
     LinkBudget,
     ReconfigAction,
     ScenarioSpec,
+    SurgeProfile,
     TrafficMix,
 )
 
@@ -139,6 +140,23 @@ def canonical_scenarios() -> List[ScenarioSpec]:
                     protocol="ftp",
                 ),
             ),
+        ),
+        ScenarioSpec(
+            name="flash-crowd",
+            description="5x demand-plane flash crowd for 10 frames: "
+            "admission and the brownout ladder shed the low classes, "
+            "p0 keeps being served, everything restores after the spike",
+            frames=36,
+            surge=SurgeProfile(start=8, end=18, multiplier=5.0),
+        ),
+        ScenarioSpec(
+            name="surge-rain-fade",
+            description="demand surge overlapping a rain fade: the "
+            "degraded-mode policy sheds carriers and the admission "
+            "capacity follows the link budget down and back up",
+            frames=44,
+            fades=(FadeSegment(start=8, end=28, peak_db=8.0, shape="ramp"),),
+            surge=SurgeProfile(start=6, end=20, multiplier=4.0),
         ),
         ScenarioSpec(
             name="lossy-ground",

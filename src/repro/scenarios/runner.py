@@ -40,7 +40,12 @@ from ..ncc.campaign import NetworkControlCenter, SatelliteGateway
 from ..net.simnet import Link, Node
 from ..obs.probes import probe as _obs_probe
 from ..obs.trace import Tracer
+from ..ncc.traffic import TrafficModel
 from ..robustness.fdir.chaos import TrafficWorld, build_traffic_world
+from ..robustness.overload.admission import AdmissionController
+from ..robustness.overload.brownout import BrownoutLadder
+from ..robustness.overload.deadline import Deadline
+from ..robustness.overload.queues import CoDelQueue
 from ..sim import RngRegistry, Simulator, derive_seed
 from .spec import (
     CHANNEL_FAULT_KINDS,
@@ -94,6 +99,117 @@ class ScenarioResult:
     @property
     def name(self) -> str:
         return self.spec.name
+
+
+class _DemandPlane:
+    """Overload-control accounting for a scenario's demand surge.
+
+    Rides the same simulation clock as the mission: each frame the
+    surge profile's arrivals pass the ingress
+    :class:`~repro.robustness.overload.admission.AdmissionController`
+    (shares from the mission-year service mix), admitted requests wait
+    in per-class bounded :class:`~repro.robustness.overload.queues.
+    CoDelQueue`\\ s under per-class deadline budgets, and a
+    :class:`~repro.robustness.overload.brownout.BrownoutLadder` driven
+    by an EWMA of offered load over capacity sheds/restores the low
+    classes.  Serving capacity tracks the degraded-mode policy's live
+    active-carrier count, coupling the demand plane to the link budget.
+    """
+
+    #: per-class deadline budgets, in frames (tighter for lower priority)
+    CLASS_BUDGET_FRAMES = {"p0": 8.0, "p1": 6.0, "p2": 4.0}
+    #: service-mix epoch the admission shares are drawn from
+    MIX_YEAR = 5.0
+
+    def __init__(self, spec: ScenarioSpec, sim: Simulator, rng) -> None:
+        assert spec.surge is not None
+        self.spec = spec
+        self.surge = spec.surge
+        self.sim = sim
+        self.rng = rng
+        clock = lambda: sim.now  # noqa: E731
+        fd = spec.frame_duration
+        self.per_sec = 1.0 / fd
+        cap_rate = (
+            self.surge.per_carrier_capacity * spec.num_carriers * self.per_sec
+        )
+        self.admission = AdmissionController.from_service_mix(
+            TrafficModel().mix_at(self.MIX_YEAR), cap_rate, clock
+        )
+        self.shares = self.admission.shares
+        self.classes = sorted(self.shares)
+        self.queues = {
+            c: CoDelQueue(
+                clock,
+                capacity=64,
+                target=fd,
+                interval=4.0 * fd,
+                name=f"demand.{c}",
+            )
+            for c in self.classes
+        }
+        self.ladder = BrownoutLadder(clock, dwell=5.0 * fd)
+        self.arrivals = {c: 0 for c in self.classes}
+        self.served = {c: 0 for c in self.classes}
+        self.expired = {c: 0 for c in self.classes}
+        self._ewma = 0.0
+
+    def step(self, frame: int, n_active: int) -> None:
+        """One frame of arrivals, ladder control and priority service."""
+        now = self.sim.now
+        cap_frame = self.surge.per_carrier_capacity * max(n_active, 0)
+        cap_rate = cap_frame * self.per_sec
+        if cap_rate != self.admission.capacity:
+            self.admission.set_capacity(cap_rate)
+        mult = self.surge.multiplier_at(frame)
+        offered = 0
+        for c in self.classes:
+            lam = self.surge.nominal_rps * self.shares[c] * mult
+            n = int(self.rng.poisson(lam))
+            self.arrivals[c] += n
+            offered += n
+            budget_s = self.CLASS_BUDGET_FRAMES[c] * self.spec.frame_duration
+            for _ in range(n):
+                if self.admission.admit(c):
+                    self.queues[c].offer(Deadline.after(now, budget_s))
+        pressure = offered / max(cap_frame, 1.0)
+        self._ewma = 0.5 * pressure + 0.5 * self._ewma
+        for action, c in self.ladder.update(self._ewma):
+            if action == "shed":
+                self.admission.shed(c)
+            else:
+                self.admission.restore(c)
+        budget = int(cap_frame)
+        for c in self.classes:
+            q = self.queues[c]
+            while budget > 0 and len(q) > 0:
+                got = q.poll_with_sojourn()
+                if got is None:  # CoDel shed the standing queue
+                    break
+                deadline, _sojourn = got
+                if deadline.expired(now):
+                    # deadline budgets are enforced at every hop: work
+                    # already past its budget is shed, not served
+                    self.expired[c] += 1
+                    continue
+                budget -= 1
+                self.served[c] += 1
+
+    def summary(self) -> Dict[str, object]:
+        """Flat JSON-able overload accounting for the golden metrics."""
+        return {
+            "arrivals": dict(self.arrivals),
+            "admitted": dict(self.admission.admitted),
+            "rejected": dict(self.admission.rejected),
+            "served": dict(self.served),
+            "expired": dict(self.expired),
+            "queues": {c: self.queues[c].stats() for c in self.classes},
+            "ladder": self.ladder.stats(),
+            "ladder_history": [
+                [round(t, 6), action, c]
+                for t, action, c in self.ladder.history
+            ],
+        }
 
 
 class ScenarioRunner:
@@ -181,6 +297,10 @@ class ScenarioRunner:
     def _mission(self, sim, rngs, world, ncc):
         spec = self.spec
         probe = _obs_probe("scenario", name=spec.name)
+        if spec.surge is not None:
+            self._demand = _DemandPlane(
+                spec, sim, rngs.stream("demand.arrivals")
+            )
         offer_rng = rngs.stream("traffic.offer")
         bits_rng = rngs.stream("traffic.bits")
         noise_rng = rngs.stream("channel.noise")
@@ -230,6 +350,8 @@ class ScenarioRunner:
         cn = shared_uplink_cn(
             spec.link.base_cn_db, fade, n_car, max(1, len(active))
         )
+        if self._demand is not None:
+            self._demand.step(f, len(active))
         frame_ok = len(active) == expected_final
         dec_design = world.payload.decoder.loaded_design or "decod.conv"
         chain = self._chain_for(world, dec_design)
@@ -331,6 +453,7 @@ class ScenarioRunner:
         """Run the scenario under a fresh observability session."""
         spec = self.spec
         self._chains: Dict[str, object] = {}
+        self._demand: Optional[_DemandPlane] = None
         self._m = {
             "attempted": 0,
             "delivered": 0,
@@ -421,12 +544,56 @@ class ScenarioRunner:
                 "trace_events": tracer.total,
             }
         )
+        if self._demand is not None:
+            m["overload"] = self._demand.summary()
         return m
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Convenience: validate, compile and run one scenario."""
     return ScenarioRunner(spec).run()
+
+
+def _overload_violations(spec: ScenarioSpec, ov: Dict) -> List[str]:
+    """Shed-before-collapse invariants for a surge scenario's accounting."""
+    v: List[str] = []
+    for c in sorted(ov["arrivals"]):
+        n = ov["arrivals"][c]
+        if ov["admitted"][c] + ov["rejected"][c] != n:
+            v.append(f"overload {c}: admitted+rejected != arrivals ({n})")
+        q = ov["queues"][c]
+        if q["offered"] != ov["admitted"][c]:
+            v.append(f"overload {c}: queue offered != admitted")
+        if q["accepted"] + q["dropped"] != q["offered"]:
+            v.append(f"overload {c}: accepted+dropped != offered")
+        if q["served"] + q["shed"] + q["depth"] != q["accepted"]:
+            v.append(f"overload {c}: served+shed+depth != accepted")
+        if ov["served"][c] + ov["expired"][c] != q["served"]:
+            v.append(f"overload {c}: served+expired != queue served")
+        if q["max_depth"] > q["capacity"]:
+            v.append(
+                f"overload {c}: queue depth {q['max_depth']} exceeded its "
+                f"bound {q['capacity']}"
+            )
+    if ov["served"].get("p0", 0) == 0:
+        v.append("overload: p0 starved (zero served during the mission)")
+    if spec.surge.multiplier >= 2.0 and not sum(ov["rejected"].values()):
+        v.append(
+            "overload: a real surge was absorbed without shedding anything "
+            "-- admission control never engaged"
+        )
+    if ov["ladder"]["level"] != 0:
+        v.append(
+            f"overload: brownout ladder still {ov['ladder']['level']} deep "
+            "at mission end (no restore)"
+        )
+    per_class: Dict[str, List[str]] = {}
+    for _t, action, c in ov["ladder_history"]:
+        per_class.setdefault(c, []).append(action)
+    for c, actions in per_class.items():
+        if actions not in (["shed"], ["shed", "restore"]):
+            v.append(f"overload: class {c} ladder flapped: {actions}")
+    return v
 
 
 def result_violations(result: ScenarioResult) -> List[str]:
@@ -482,6 +649,12 @@ def result_violations(result: ScenarioResult) -> List[str]:
                 f"no recovery: only {sum(tail)}/{len(tail)} clean frames "
                 "in the recovery tail"
             )
+    if spec.surge is not None:
+        ov = m.get("overload")
+        if ov is None:
+            v.append("surge scenario produced no overload accounting")
+        else:
+            v.extend(_overload_violations(spec, ov))
     if spec.reconfigs:
         ncc_stats, gw = m["ncc"], m["gateway"]
         if gw["executed"] != ncc_stats["tc_issued"]:

@@ -36,6 +36,7 @@ __all__ = [
     "ReconfigAction",
     "ScenarioError",
     "ScenarioSpec",
+    "SurgeProfile",
     "TrafficMix",
 ]
 
@@ -83,6 +84,50 @@ class TrafficMix:
         """Burst-offer probability for one carrier."""
         w = self.weights[carrier] if self.weights else 1.0
         return self.occupancy * w
+
+
+@dataclass(frozen=True)
+class SurgeProfile:
+    """A demand-plane load surge on ``[start, end)`` frames.
+
+    While active, the offered request rate is ``multiplier`` times the
+    ``nominal_rps`` baseline (requests per frame, split across the
+    ``p0``/``p1``/``p2`` priority classes by the mission service mix).
+    The runner routes the surge through the full overload-control
+    stack -- ingress admission, bounded CoDel class queues, per-class
+    deadline budgets, the brownout ladder -- with the serving capacity
+    (``per_carrier_capacity`` requests/frame per carrier) tracking the
+    degraded-mode policy's live active-carrier count, so a surge
+    composed with a rain fade sees admission capacity follow the link
+    budget down and back up.
+    """
+
+    start: int
+    end: int
+    multiplier: float = 5.0
+    nominal_rps: float = 12.0
+    per_carrier_capacity: float = 10.0
+
+    def problems(self, frames: int) -> List[str]:
+        out = []
+        if not 0 <= self.start < self.end:
+            out.append(f"surge: start {self.start} must be < end {self.end}")
+        if self.end > frames:
+            out.append(f"surge: end {self.end} beyond mission ({frames} frames)")
+        if self.multiplier < 1.0:
+            out.append(f"surge: multiplier {self.multiplier} must be >= 1")
+        if self.nominal_rps <= 0:
+            out.append(f"surge: nominal_rps {self.nominal_rps} must be > 0")
+        if self.per_carrier_capacity <= 0:
+            out.append(
+                f"surge: per_carrier_capacity {self.per_carrier_capacity} "
+                "must be > 0"
+            )
+        return out
+
+    def multiplier_at(self, frame: int) -> float:
+        """Demand multiplier this frame (1.0 outside the surge window)."""
+        return self.multiplier if self.start <= frame < self.end else 1.0
 
 
 @dataclass(frozen=True)
@@ -259,6 +304,8 @@ class ScenarioSpec:
     reconfigs: Tuple[ReconfigAction, ...] = ()
     link: LinkBudget = field(default_factory=LinkBudget)
     ground: GroundLink = field(default_factory=GroundLink)
+    #: demand-plane load surge (None = no overload accounting)
+    surge: Optional[SurgeProfile] = None
     #: carriers expected in service at mission end (None = all)
     expected_final_active: Optional[int] = None
     #: trailing frames that must deliver cleanly at the expected width
@@ -297,6 +344,8 @@ class ScenarioSpec:
             out.extend(rc.problems(self.frames, i))
         out.extend(self.link.problems())
         out.extend(self.ground.problems())
+        if self.surge is not None:
+            out.extend(self.surge.problems(self.frames))
         return out
 
     def validate(self) -> "ScenarioSpec":
@@ -350,9 +399,13 @@ class ScenarioSpec:
             )
             link = LinkBudget(**d["link"]) if "link" in d else LinkBudget()
             ground = GroundLink(**d["ground"]) if "ground" in d else GroundLink()
+            surge = SurgeProfile(**d["surge"]) if d.get("surge") else None
         except TypeError as exc:
             raise ScenarioError(f"bad scenario dict: {exc}") from exc
-        for key in ("traffic", "fades", "faults", "reconfigs", "link", "ground"):
+        for key in (
+            "traffic", "fades", "faults", "reconfigs", "link", "ground",
+            "surge",
+        ):
             d.pop(key, None)
         try:
             return cls(
@@ -362,6 +415,7 @@ class ScenarioSpec:
                 reconfigs=reconfigs,
                 link=link,
                 ground=ground,
+                surge=surge,
                 **d,
             )
         except TypeError as exc:

@@ -52,8 +52,17 @@ class TestTrafficModel:
             TrafficModel(voice_initial=0.05, voice_floor=0.10)
         with pytest.raises(ValueError):
             TrafficModel().mix_at(-1.0)
+
+    def test_years_until_voice_below_edges(self):
+        tm = TrafficModel()  # v0=0.8, floor=0.10
+        # already below at launch: the answer is year zero, not an error
+        assert tm.years_until_voice_below(0.95) == 0.0
+        assert tm.years_until_voice_below(0.8) == 0.0
+        # at or under the asymptotic floor: never happens
         with pytest.raises(ValueError):
-            TrafficModel().years_until_voice_below(0.95)
+            tm.years_until_voice_below(0.10)
+        with pytest.raises(ValueError):
+            tm.years_until_voice_below(0.05)
 
 
 class TestMissionPlanner:

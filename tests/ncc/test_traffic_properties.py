@@ -1,0 +1,109 @@
+"""Hypothesis invariants for the demand-path traffic model.
+
+``ncc/traffic.py`` feeds the admission controller's capacity shares and
+the mission planner's reconfiguration schedule, so its monotonicity and
+sign properties are load-bearing for overload control: a negative
+per-user demand or a non-monotone voice decay would silently corrupt
+every capacity estimate derived from it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ncc.traffic import MissionPlanner, ServiceMix, TrafficModel
+
+years = st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+
+models = st.builds(
+    TrafficModel,
+    launch_total_mbps=st.floats(min_value=0.1, max_value=100.0),
+    growth_per_year=st.floats(min_value=0.0, max_value=1.0),
+    voice_initial=st.floats(min_value=0.3, max_value=0.95),
+    voice_floor=st.floats(min_value=0.01, max_value=0.25),
+    voice_decay_years=st.floats(min_value=0.5, max_value=10.0),
+)
+
+
+class TestMixAtProperties:
+    @given(model=models, y1=years, y2=years)
+    @settings(max_examples=60)
+    def test_voice_decays_and_video_grows_monotonically(self, model, y1, y2):
+        lo, hi = sorted((y1, y2))
+        m_lo, m_hi = model.mix_at(lo), model.mix_at(hi)
+        assert m_hi.voice <= m_lo.voice + 1e-9
+        assert m_hi.video >= m_lo.video - 1e-9
+        assert m_hi.total_mbps >= m_lo.total_mbps - 1e-9
+
+    @given(model=models, y=years)
+    @settings(max_examples=60)
+    def test_mix_is_a_valid_distribution(self, model, y):
+        mix = model.mix_at(y)
+        assert np.isclose(mix.voice + mix.text + mix.video, 1.0)
+        assert mix.voice >= 0 and mix.text >= 0 and mix.video >= 0
+
+    @given(model=models, frac=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=60)
+    def test_years_until_voice_below_is_consistent(self, model, frac):
+        if frac <= model.vf:
+            with pytest.raises(ValueError):
+                model.years_until_voice_below(frac)
+            return
+        t = model.years_until_voice_below(frac)
+        assert t >= 0.0
+        if frac >= model.v0:
+            assert t == 0.0
+        else:
+            # just after the crossing, voice is indeed below the target
+            assert model.mix_at(t + 1e-6).voice <= frac + 1e-6
+
+
+class TestPlannerProperties:
+    @given(
+        model=models,
+        mission_years=st.floats(min_value=1.0, max_value=20.0),
+        users=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=40)
+    def test_schedule_ordered_and_demand_nonnegative(
+        self, model, mission_years, users
+    ):
+        planner = MissionPlanner(model, mission_years=mission_years)
+        plan = planner.schedule(users=users)
+        yrs = [c.year for c in plan]
+        assert yrs == sorted(yrs)
+        assert all(0.0 <= y <= mission_years for y in yrs)
+        # at most one waveform change and two decoder steps, never dupes
+        assert len({(c.equipment, c.function) for c in plan}) == len(plan)
+
+    @given(model=models, y=years, users=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=60)
+    def test_per_user_demand_nonnegative_and_scales_down(self, model, y, users):
+        planner = MissionPlanner(model)
+        d = planner.per_user_demand(y, users)
+        assert d >= 0.0
+        assert planner.per_user_demand(y, users * 2) <= d + 1e-12
+
+    @given(mission_years=st.floats(min_value=1.0, max_value=20.0))
+    @settings(max_examples=40)
+    def test_fractional_mission_boundary_included(self, mission_years):
+        planner = MissionPlanner(TrafficModel(), mission_years=mission_years)
+        plan = planner.schedule()
+        assert all(c.year <= mission_years for c in plan)
+
+
+class TestServiceMixValidation:
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            ServiceMix(year=0.0, voice=-0.1, text=0.6, video=0.5, total_mbps=1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            ServiceMix(year=0.0, voice=0.5, text=0.2, video=0.2, total_mbps=1.0)
+
+    def test_rejects_negative_total_and_year(self):
+        with pytest.raises(ValueError):
+            ServiceMix(year=0.0, voice=0.5, text=0.3, video=0.2, total_mbps=-1.0)
+        with pytest.raises(ValueError):
+            ServiceMix(year=-1.0, voice=0.5, text=0.3, video=0.2, total_mbps=1.0)

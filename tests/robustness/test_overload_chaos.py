@@ -1,0 +1,89 @@
+"""Acceptance: the overload chaos campaign sheds before it collapses.
+
+ISSUE 7's gate: zero invariant violations over 5 seeds x the four surge
+scenarios (flash crowd, sustained 10x, surge-during-rain-fade,
+surge-during-FDIR-recovery), each judged against a same-seed nominal
+baseline run.
+"""
+
+import pytest
+
+from repro.robustness.overload.chaos import (
+    OverloadChaosCampaign,
+    default_overload_scenarios,
+)
+
+pytestmark = pytest.mark.overload
+
+SEEDS = [1, 2, 3, 4, 5]
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    c = OverloadChaosCampaign(seeds=SEEDS)
+    c.run()
+    return c
+
+
+class TestCampaignAcceptance:
+    def test_covers_all_scenarios_and_seeds(self, campaign):
+        # one nominal + one surge outcome per (scenario, seed)
+        assert len(campaign.outcomes) == 2 * len(SEEDS) * len(
+            default_overload_scenarios()
+        )
+
+    def test_zero_violations(self, campaign):
+        assert campaign.all_violations() == []
+
+    def test_surge_actually_sheds(self, campaign):
+        """The campaign attacks for real: every surge run rejected load
+        and engaged the brownout ladder."""
+        for o in campaign.outcomes:
+            if o.nominal_run:
+                continue
+            assert sum(o.rejected.values()) > 0, o.scenario.name
+            assert o.ladder_stats["shed_events"] >= 1, o.scenario.name
+
+    def test_breaker_scenario_trips_and_recovers(self, campaign):
+        runs = [
+            o
+            for o in campaign.outcomes
+            if o.scenario.expect_breaker and not o.nominal_run
+        ]
+        assert runs
+        for o in runs:
+            assert 1 <= o.breaker_stats["trips"] <= 3
+            assert o.breaker_stats["state"] == "closed"
+            assert o.breaker_stats["fast_rejects"] >= 1
+
+    def test_fade_scenario_sheds_and_restores_carriers(self, campaign):
+        runs = [
+            o
+            for o in campaign.outcomes
+            if o.scenario.expect_fade_shed and not o.nominal_run
+        ]
+        assert runs
+        for o in runs:
+            assert any(kind == "shed" for kind, _, _ in o.policy_events)
+            assert any(kind == "restore" for kind, _, _ in o.policy_events)
+            assert o.final_active_carriers == 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        sc = default_overload_scenarios()[0]
+        c = OverloadChaosCampaign(seeds=[7])
+        a = c.run_one(sc, 7)
+        b = c.run_one(sc, 7)
+        assert a.arrivals == b.arrivals
+        assert a.served_ok == b.served_ok
+        assert a.rejected == b.rejected
+        assert a.ladder_history == b.ladder_history
+        assert a.queue_stats == b.queue_stats
+
+    def test_different_seeds_differ(self):
+        sc = default_overload_scenarios()[0]
+        c = OverloadChaosCampaign(seeds=[7, 8])
+        a = c.run_one(sc, 7)
+        b = c.run_one(sc, 8)
+        assert a.arrivals != b.arrivals

@@ -10,6 +10,7 @@ from repro.scenarios import (
     ReconfigAction,
     ScenarioError,
     ScenarioSpec,
+    SurgeProfile,
     TrafficMix,
 )
 
@@ -140,3 +141,37 @@ def test_severity_tracks_faults_and_fades():
     assert spec.severity(9) == 1.0
     # the latch-up is permanent: severity stays elevated afterwards
     assert spec.severity(15) >= 1.0
+
+
+class TestSurgeProfile:
+    def test_multiplier_profile(self):
+        surge = SurgeProfile(start=4, end=10, multiplier=5.0)
+        assert surge.multiplier_at(3) == 1.0
+        assert surge.multiplier_at(4) == 5.0
+        assert surge.multiplier_at(9) == 5.0
+        assert surge.multiplier_at(10) == 1.0
+
+    def test_validation_collected_by_spec(self):
+        spec = ScenarioSpec(
+            name="bad-surge",
+            frames=8,
+            surge=SurgeProfile(start=6, end=20, multiplier=0.5),
+        )
+        with pytest.raises(ScenarioError) as err:
+            spec.validate()
+        msg = str(err.value)
+        assert "surge: end 20 beyond mission" in msg
+        assert "surge: multiplier 0.5 must be >= 1" in msg
+
+    def test_round_trip_and_hash_sensitivity(self):
+        with_surge = ScenarioSpec(
+            name="s",
+            frames=24,
+            surge=SurgeProfile(start=8, end=16, multiplier=4.0),
+        )
+        back = ScenarioSpec.from_dict(with_surge.to_dict())
+        assert back == with_surge
+        assert back.spec_hash() == with_surge.spec_hash()
+        without = ScenarioSpec(name="s", frames=24)
+        assert ScenarioSpec.from_dict(without.to_dict()).surge is None
+        assert without.spec_hash() != with_surge.spec_hash()

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-overload test-perf test-scenarios all
+.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-overload test-perf test-scenarios test-dtn all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -30,6 +30,9 @@ test-perf:  ## batched burst-processing throughput baseline (prints bursts/sec t
 
 test-scenarios:  ## mission-scenario conformance: golden corpus, differential oracles, seeded soak sweeps
 	$(PYTHON) -m pytest -m scenario tests/scenarios/
+
+test-dtn:  ## disruption-tolerant ground segment: contact plans, store-and-forward, resumable transfers, outage chaos
+	$(PYTHON) -m pytest -m dtn tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

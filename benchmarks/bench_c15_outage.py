@@ -1,0 +1,126 @@
+"""C15 -- disruption-tolerant ground segment: the cost of losing the link.
+
+Times the outage chaos sweep (every link-disruption scenario, one seed)
+through the full DTN stack -- contact scheduler, onboard solid-state
+recorder with priority eviction, ground-driven playback, CFDP-style
+checkpointed resumable uploads -- and prints two tables:
+
+- the bytes-resent ratio of the resumable transfer against the
+  restart-from-zero baseline on an identical outage timeline (the
+  paper's §3.3 protocols all restart from byte zero; CFDP-style
+  checkpointing is what bounds re-transmission across a blackout);
+- store-and-forward telemetry playback: records produced out of
+  contact vs delivered, shed discipline, playback throughput per
+  contact second.
+
+Run with ``REPRO_OBS=1`` and the ``dtn.*`` series -- ``dtn.contact.*``,
+``dtn.recorder.*``, ``dtn.transfer.*``, ``dtn.chaos.*`` -- land in the
+exported metrics snapshot (``BENCH_METRICS.json``) via the session
+fixture in ``conftest.py``; with ``REPRO_BENCH_JSON=1`` the tables are
+captured into ``BENCH_c15_outage.json``.
+"""
+
+from conftest import print_table
+from repro.robustness.dtn import OutageChaosCampaign
+
+
+def test_outage_resumable_vs_restart(benchmark):
+    def run():
+        campaign = OutageChaosCampaign(seeds=[1])
+        campaign.run()
+        return campaign
+
+    campaign = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for o in campaign.outcomes:
+        st = o.upload_state
+        size = o.scenario.upload_size
+        rows.append(
+            [
+                o.scenario.name,
+                len(o.scenario.windows) or "-",
+                len(o.scenario.outages) or "-",
+                size or "-",
+                f"{st.overhead_ratio:.2f}x" if st else "-",
+                st.resumes if st else "-",
+                f"{o.naive_bytes / size:.2f}x" if o.naive_bytes else "-",
+                o.ncc_stats.get("retransmits", 0),
+                len(o.violations()),
+            ]
+        )
+    print_table(
+        "resumable upload cost vs restart-from-zero across link disruptions",
+        [
+            "scenario",
+            "windows",
+            "outages",
+            "bytes",
+            "resumable",
+            "resumes",
+            "naive",
+            "tc-rtx",
+            "viol",
+        ],
+        rows,
+    )
+    assert campaign.all_violations() == []
+    blackout = next(
+        o for o in campaign.outcomes if o.scenario.name == "mid-upload-blackout"
+    )
+    # the acceptance numbers: < 1.5x resumable where naive pays >= 2x
+    assert blackout.upload_state.overhead_ratio < 1.5
+    assert blackout.naive_bytes >= 2 * blackout.scenario.upload_size
+
+
+def test_outage_playback_throughput(benchmark):
+    """Store-and-forward telemetry: zero loss below capacity, and the
+    playback drains the recorder at a useful per-contact-second rate."""
+
+    def run():
+        campaign = OutageChaosCampaign(seeds=[1])
+        outs = [
+            campaign.run_one(s, 1)
+            for s in campaign.scenarios
+            if s.tm_period > 0
+        ]
+        return outs
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for o in outcomes:
+        produced = sum(o.produced.values())
+        delivered = sum(o.delivered.values())
+        contact_s = o.link_stats.get("contact_s", 0.0)
+        rate = delivered / contact_s if contact_s else 0.0
+        rows.append(
+            [
+                o.scenario.name,
+                produced,
+                delivered,
+                o.recorder_status["shed"],
+                o.recorder_status["shed_by_class"]["p0"],
+                o.monitor_gaps,
+                f"{contact_s:.0f}",
+                f"{rate:.2f}",
+                len(o.violations()),
+            ]
+        )
+    print_table(
+        "store-and-forward playback: production, delivery and shed discipline",
+        [
+            "scenario",
+            "produced",
+            "delivered",
+            "shed",
+            "shed-p0",
+            "gaps",
+            "contact-s",
+            "rec/s",
+            "viol",
+        ],
+        rows,
+    )
+    for o in outcomes:
+        assert o.violations() == []
+        # every p0 record that was produced reached the ground
+        assert o.delivered["p0"] == o.produced["p0"]

@@ -165,6 +165,38 @@ class OnBoardController:
         self.library.evict(tc.args["function"], tc.args["version"])
         return Telemetry(tc.tc_id, True, {})
 
+    # -- store-and-forward recorder ----------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        """Register the onboard solid-state recorder.
+
+        ``recorder`` is a
+        :class:`repro.robustness.dtn.SolidStateRecorder`; the
+        ``playback`` telecommand then lets the ground grant playback
+        budgets at the start of a pass (store-and-forward: nothing
+        recorded is released into an outage without authorization).
+        """
+        self.recorder = recorder
+
+    def _tc_playback(self, tc: Telecommand) -> Telemetry:
+        """Ground-driven playback authorization for the recorder."""
+        recorder = getattr(self, "recorder", None)
+        if recorder is None:
+            return Telemetry(tc.tc_id, False, {"error": "no recorder attached"})
+        pending = recorder.pending()
+        # deficit grant: top the outstanding authorization up to the
+        # backlog, never past it -- repeated polls cannot over-authorize
+        # and leak stored records into a later outage
+        deficit = max(0, pending - recorder.authorized)
+        budget = tc.args.get("budget")
+        granted = deficit if budget is None else min(int(budget), deficit)
+        if granted > 0:
+            recorder.authorize(granted)
+        return Telemetry(
+            tc.tc_id,
+            True,
+            {"granted": granted, **recorder.status()},
+        )
+
     # -- traffic-plane FDIR ------------------------------------------------
     def attach_fdir(self, arbiter, policy=None) -> None:
         """Register the traffic-plane FDIR stack for telemetry.

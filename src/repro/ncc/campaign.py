@@ -181,6 +181,9 @@ class SatelliteGateway:
         #: optional :class:`repro.robustness.overload.AdmissionController`
         #: gating TC execution by priority class at the space-side ingress
         self.admission = admission
+        #: optional :class:`repro.robustness.dtn.ResumableReceiver`
+        #: serving the xfer_status / xfer_finish transfer handshake
+        self.xfer = None
         self.stats = {
             "tc_received": 0,
             "executed": 0,
@@ -192,6 +195,19 @@ class SatelliteGateway:
         self._probe = _obs_probe("ncc.gateway", node=node.name)
         self._tc_sock = UdpSocket(node.ip, TC_PORT, recv_capacity=tc_queue_capacity)
         node.sim.process(self._tc_server(), name="sat-tc-server")
+
+    def attach_transfer(self, receiver) -> None:
+        """Serve resumable-transfer telecommands against the upload store.
+
+        ``receiver`` is a
+        :class:`repro.robustness.dtn.ResumableReceiver`; the
+        ``xfer_status`` gap report and ``xfer_finish`` reassembly
+        handshake are then answered at the gateway (dedup-cached like
+        any other TC), and a completed resumable transfer lands in
+        :attr:`uploads` under its real filename -- invisible to the
+        downstream ``store`` TC.
+        """
+        self.xfer = receiver
 
     def _shed(self, kind: str, tc_id, addr, port, reason: str) -> None:
         """Refuse a TC cheaply: count, trace, answer -- never execute.
@@ -267,6 +283,24 @@ class SatelliteGateway:
                             "shed_admission", tc_id, addr, port, "admission"
                         )
                         continue
+                if (
+                    self.xfer is not None
+                    and isinstance(msg, dict)
+                    and msg.get("action") in ("xfer_status", "xfer_finish")
+                ):
+                    ok, payload = self.xfer.handle(
+                        msg["action"], msg.get("args", {})
+                    )
+                    self.stats["executed"] += 1
+                    if p is not None:
+                        p.count("executed")
+                    reply = {"tc_id": tc_id, "success": bool(ok),
+                             "payload": _jsonable(payload)}
+                    encoded = json.dumps(reply).encode()
+                    if isinstance(tc_id, int) and tc_id > 0:
+                        self.dedup.put(tc_id, encoded)
+                    self._tc_sock.sendto(encoded, addr, port)
+                    continue
                 tc = Telecommand(msg["tc_id"], msg["action"], msg.get("args", {}))
                 if tc.action == "store":
                     # resolve the uploaded file from the gateway store
@@ -356,6 +390,22 @@ class NetworkControlCenter:
         self.results_evicted = 0
         self._campaigns_total = 0
         self._campaigns_ok_total = 0
+        #: optional :class:`repro.robustness.dtn.ResumableUploader`
+        #: (see :meth:`attach_resumable`)
+        self._resumable = None
+
+    def attach_resumable(self, uploader) -> None:
+        """Route every upload through a checkpointed resumable transfer.
+
+        ``uploader`` is a
+        :class:`repro.robustness.dtn.ResumableUploader` built around
+        this NCC.  Once attached, :meth:`upload` (and therefore
+        :meth:`reconfigure_equipment`) segments files, checkpoints
+        per-segment completion, and resumes across contact gaps instead
+        of re-sending whole files -- the counterpart gateway must have a
+        :class:`~repro.robustness.dtn.ResumableReceiver` attached.
+        """
+        self._resumable = uploader
 
     def _record(self, result: CampaignResult) -> None:
         if len(self.results) == self.results.maxlen:
@@ -423,6 +473,11 @@ class NetworkControlCenter:
         """
         if protocol not in ("tftp", "ftp", "scps"):
             raise ValueError(f"unknown protocol {protocol!r}")
+        if self._resumable is not None:
+            yield from self._resumable.upload(
+                filename, blob, protocol, deadline=deadline
+            )
+            return
         yield from run_with_retry(
             self.sim,
             lambda _attempt: self._upload_once(filename, blob, protocol),

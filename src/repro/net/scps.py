@@ -94,15 +94,27 @@ class ScpsFpSender:
         rate_bps: float = 1e6,
         eof_timeout: float = 1.5,
         max_rounds: int = 20,
+        eof_timeout_max: float = 12.0,
+        max_silent_probes: int = 6,
     ) -> None:
         if rate_bps <= 0:
             raise ValueError("rate must be positive")
+        if eof_timeout_max < eof_timeout:
+            raise ValueError("eof_timeout_max must be >= eof_timeout")
+        if max_silent_probes < 1:
+            raise ValueError("max_silent_probes must be >= 1")
         self.stack = stack
         self.sim: Simulator = stack.node.sim
         self.receiver = (receiver_addr, receiver_port)
         self.rate_bps = rate_bps
         self.eof_timeout = eof_timeout
         self.max_rounds = max_rounds
+        #: EOF-probe timeout backs off exponentially while the receiver
+        #: stays silent, capped here -- a dead link is neither hammered
+        #: at a fixed cadence nor waited on forever
+        self.eof_timeout_max = eof_timeout_max
+        #: consecutive silent EOF probes before declaring the link down
+        self.max_silent_probes = max_silent_probes
 
     def put(self, name: str, payload: bytes):
         """Generator: transfer a file; returns the number of SNACK rounds."""
@@ -116,6 +128,8 @@ class ScpsFpSender:
             )
             pending = list(range(nrec))
             rounds = 0
+            silent = 0
+            probe_timeout = self.eof_timeout
             while True:
                 for r in pending:
                     chunk = payload[r * SCPS_RECORD_SIZE : (r + 1) * SCPS_RECORD_SIZE]
@@ -124,13 +138,23 @@ class ScpsFpSender:
                     # open-loop pacing at the allocated rate
                     yield self.sim.timeout(8.0 * len(pkt) / self.rate_bps)
                 sock.sendto(_HDR.pack(_OP_EOF, nrec), *self.receiver)
-                got = yield _recv_or_timeout(self.sim, sock, self.eof_timeout)
+                got = yield _recv_or_timeout(self.sim, sock, probe_timeout)
                 if got is None:
                     rounds += 1
+                    silent += 1
+                    if silent >= self.max_silent_probes:
+                        raise ScpsError(
+                            f"put {name!r}: link down (no receiver response "
+                            f"after {silent} EOF probes)"
+                        )
                     if rounds >= self.max_rounds:
                         raise ScpsError(f"put {name!r}: no receiver response")
+                    # exponential backoff while the receiver stays silent
+                    probe_timeout = min(probe_timeout * 2.0, self.eof_timeout_max)
                     pending = []  # just re-send EOF to prod the receiver
                     continue
+                silent = 0
+                probe_timeout = self.eof_timeout
                 data, _src = got
                 op, arg = _HDR.unpack(data[: _HDR.size])
                 if op == _OP_DONE:

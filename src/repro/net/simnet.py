@@ -46,6 +46,17 @@ class Link:
     remove.  :meth:`backlog_of` / :meth:`backpressure` expose the
     occupancy so upstream hops (TMTC AD sender, gateway) can defer
     instead of blind-firing into a full buffer.
+
+    The link can also go **hard down** (:meth:`set_up`) -- end of a
+    visibility pass, a rain blackout, a ground-station handover.  While
+    down, offered frames are dropped at the transmitter and frames
+    still in flight are lost at their would-be arrival instant (there
+    is no receiver tracking the carrier); both are counted in
+    ``stats["outage_dropped"]``.  Cumulative in-contact /
+    out-of-contact time is tracked (:meth:`contact_stats`) for the
+    disruption-tolerant operations layer
+    (:mod:`repro.robustness.dtn`), which drives :meth:`set_up` from a
+    deterministic contact plan plus unscheduled outage events.
     """
 
     def __init__(
@@ -85,8 +96,61 @@ class Link:
         self._tx_free: dict[int, float] = {0: 0.0, 1: 0.0}
         # per-direction frames waiting for / in serialization
         self._backlog: dict[int, int] = {0: 0, 1: 0}
-        self.stats = {"frames": 0, "dropped": 0, "bytes": 0, "backlog_dropped": 0}
+        self.stats = {
+            "frames": 0,
+            "dropped": 0,
+            "bytes": 0,
+            "backlog_dropped": 0,
+            "outage_dropped": 0,
+        }
+        #: link state: True while the hop is usable (in contact)
+        self.up = True
+        self._state_since = 0.0
+        self._contact_s = 0.0
+        self._outage_s = 0.0
+        self.transitions = 0
         self._probe = _obs_probe("net.link", link=name)
+
+    # -- contact state -----------------------------------------------------
+    def set_up(self, up: bool) -> None:
+        """Bring the link up or take it hard down (idempotent)."""
+        if up == self.up:
+            return
+        now = self.sim.now
+        elapsed = now - self._state_since
+        if self.up:
+            self._contact_s += elapsed
+        else:
+            self._outage_s += elapsed
+        self.up = up
+        self._state_since = now
+        self.transitions += 1
+        p = self._probe
+        if p is not None:
+            p.count("link_up" if up else "link_down")
+            p.event("link.up" if up else "link.down", t=now, link=self.name)
+
+    def contact_stats(self) -> dict:
+        """Cumulative in/out-of-contact seconds (up to ``sim.now``)."""
+        elapsed = self.sim.now - self._state_since
+        contact = self._contact_s + (elapsed if self.up else 0.0)
+        outage = self._outage_s + (0.0 if self.up else elapsed)
+        return {
+            "up": self.up,
+            "contact_s": contact,
+            "outage_s": outage,
+            "transitions": self.transitions,
+            "outage_dropped": self.stats["outage_dropped"],
+        }
+
+    def _outage_drop(self, where: str, nbytes: int) -> None:
+        self.stats["outage_dropped"] += 1
+        p = self._probe
+        if p is not None:
+            p.count("outage_dropped")
+            p.event(
+                "link.outage_drop", t=self.sim.now, where=where, bytes=nbytes
+            )
 
     def attach(self, node: "Node") -> None:
         """Connect an endpoint (exactly two per link)."""
@@ -117,6 +181,10 @@ class Link:
         bits = 8 * len(frame)
         ser = bits / self.rate_bps
         now = self.sim.now
+        if not self.up:
+            # hard-down link: nothing leaves the antenna
+            self._outage_drop("tx", len(frame))
+            return
         if self._backlog[direction] >= self.max_backlog_frames:
             # transmit buffer full: shed at the modulator, never queue
             # unboundedly in time.
@@ -168,7 +236,14 @@ class Link:
                         p.count("flipped_bits", n_err)
                         p.event("link.flip", t=now, bits=n_err)
         arrival = done + self.delay
-        self.sim.call_at(arrival, lambda: peer._deliver(frame))
+        self.sim.call_at(arrival, lambda: self._arrive(peer, frame))
+
+    def _arrive(self, peer: "Node", frame: bytes) -> None:
+        if not self.up:
+            # the link went down while the frame was in flight
+            self._outage_drop("rx", len(frame))
+            return
+        peer._deliver(frame)
 
     def _tx_done(self, direction: int) -> None:
         self._backlog[direction] -= 1

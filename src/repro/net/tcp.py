@@ -27,10 +27,22 @@ from ..obs.probes import probe as _obs_probe
 from ..sim import Event, Simulator, Store
 from .ip import IpPacket, IpStack, PROTO_TCP
 
-__all__ = ["TcpConnection", "TcpListener"]
+__all__ = ["TcpConnection", "TcpLinkDown", "TcpListener"]
 
 _HDR = struct.Struct(">HHIIBI")  # sport, dport, seq, ack, flags, window
 _SYN, _ACK, _FIN = 0x02, 0x10, 0x01
+
+
+class TcpLinkDown(OSError):
+    """The retransmission budget died into a dead link.
+
+    Raised (via failed events / EOF on the receive queue) once
+    ``max_retransmits`` consecutive timeouts elapse without a single
+    byte of progress -- a multi-minute dead link must surface as an
+    error in *bounded* time, not as silent exponential retry forever.
+    Subclasses :class:`OSError` so existing retry policies
+    (``UPLOAD_RETRY_ON``) treat it as a failed, retryable attempt.
+    """
 
 
 def _demux_for(stack: IpStack) -> dict:
@@ -82,16 +94,30 @@ class TcpConnection:
         window: int = 65_535,
         rto: float = 1.5,
         slow_start: bool = True,
+        rto_max: float = 30.0,
+        max_retransmits: int = 8,
     ) -> None:
         if window < self.MSS:
             raise ValueError("window must be at least one MSS")
+        if rto_max < rto:
+            raise ValueError("rto_max must be >= rto")
+        if max_retransmits < 1:
+            raise ValueError("max_retransmits must be >= 1")
         self.stack = stack
         self.sim: Simulator = stack.node.sim
         self.local_port = local_port
         self.remote = (remote_addr, remote_port)
         self.window = window
         self.rto = rto
+        #: retransmission timeout backs off exponentially per consecutive
+        #: timeout (RFC 6298 style), capped here
+        self.rto_max = rto_max
+        #: consecutive no-progress timeouts before the connection fails
+        #: with :class:`TcpLinkDown`
+        self.max_retransmits = max_retransmits
         self.slow_start = slow_start
+        self._rto_cur = rto
+        self._timeouts_in_a_row = 0
 
         self.state = "CLOSED"
         # send side
@@ -114,7 +140,12 @@ class TcpConnection:
         self._timer_armed = False
         self._established_ev: Optional[Event] = None
         self._closed_ev: Optional[Event] = None
-        self.stats = {"retransmits": 0, "segments_out": 0, "segments_in": 0}
+        self.stats = {
+            "retransmits": 0,
+            "segments_out": 0,
+            "segments_in": 0,
+            "link_down": 0,
+        }
         self._probe = _obs_probe(
             "net.tcp", conn=f"{local_port}->{remote_addr}:{remote_port}"
         )
@@ -213,7 +244,9 @@ class TcpConnection:
         self._timer_armed = True
         self._timer_gen += 1
         gen = self._timer_gen
-        self.sim.call_at(self.sim.now + self.rto, lambda: self._on_timeout(gen))
+        self.sim.call_at(
+            self.sim.now + self._rto_cur, lambda: self._on_timeout(gen)
+        )
 
     def _restart_timer(self) -> None:
         self._timer_armed = False
@@ -225,7 +258,16 @@ class TcpConnection:
             return
         self._timer_armed = False
         if self.snd_una == self.snd_nxt and self.state in ("ESTABLISHED", "CLOSED"):
+            self._timeouts_in_a_row = 0
+            self._rto_cur = self.rto
             return
+        self._timeouts_in_a_row += 1
+        if self._timeouts_in_a_row > self.max_retransmits:
+            self._fail_link_down()
+            return
+        # exponential backoff, capped: a dead link must not be hammered
+        # at a fixed cadence, nor backed off into unbounded silence
+        self._rto_cur = min(self._rto_cur * 2.0, self.rto_max)
         self.stats["retransmits"] += 1
         p = self._probe
         if p is not None:
@@ -252,12 +294,45 @@ class TcpConnection:
             self._pump()
         self._arm_timer()
 
+    def _fail_link_down(self) -> None:
+        """Tear the connection down after a no-progress retry budget."""
+        self.stats["link_down"] += 1
+        p = self._probe
+        if p is not None:
+            p.count("link_down")
+            p.event(
+                "tcp.link_down",
+                t=self.sim.now,
+                state=self.state,
+                unacked=self.bytes_unacked,
+                retries=self._timeouts_in_a_row,
+            )
+        exc = TcpLinkDown(
+            f"tcp {self.local_port}->{self.remote[0]}:{self.remote[1]}: "
+            f"no progress after {self.max_retransmits} retransmissions "
+            f"(link down?)"
+        )
+        self.state = "CLOSED"
+        for ev in (self._established_ev, self._closed_ev):
+            if ev is not None and not ev.triggered:
+                ev.fail(exc)
+        if not self._fin_received:
+            self._fin_received = True
+            self._recv_q.put(None)  # EOF for any blocked receiver
+        _demux_for(self.stack).pop(
+            (self.local_port, self.remote[0], self.remote[1]), None
+        )
+
     # -- segment arrival ----------------------------------------------------
     def _on_segment(self, seq: int, ack: int, flags: int, window: int, data: bytes) -> None:
         self.stats["segments_in"] += 1
         if self._probe is not None:
             self._probe.count("segments_in")
         self.peer_window = max(window, self.MSS)
+        # any segment from the peer is proof of life: reset the
+        # consecutive-timeout budget and the backed-off RTO
+        self._timeouts_in_a_row = 0
+        self._rto_cur = self.rto
 
         if self.state == "SYN_SENT":
             if flags & _SYN and flags & _ACK and ack == self.snd_nxt:

@@ -20,10 +20,15 @@ from ..sim import Simulator, Store
 from .simnet import Node
 from .tmtc import _crc16
 
-__all__ = ["TmFrame", "TelemetryDownlink", "TelemetryMonitor"]
+__all__ = ["TmFrame", "TelemetryDownlink", "TelemetryMonitor", "TM_COUNT_CYCLE"]
 
-_HDR = struct.Struct(">BHHH")  # vc, master count, vc count, length
+_HDR = struct.Struct(">BBBH")  # vc, master count, vc count, length
 TM_FRAME_DATA_MAX = 220
+
+#: CCSDS 132.0-B TM transfer frames carry 8-bit master/virtual channel
+#: frame counts: the counters cycle modulo 256 on the wire, and loss
+#: detection must compare modulo the same cycle
+TM_COUNT_CYCLE = 256
 
 
 class TmFrame:
@@ -33,8 +38,8 @@ class TmFrame:
 
     def __init__(self, vc: int, master_count: int, vc_count: int, data: bytes):
         self.vc = vc
-        self.master_count = master_count & 0xFFFF
-        self.vc_count = vc_count & 0xFFFF
+        self.master_count = master_count % TM_COUNT_CYCLE
+        self.vc_count = vc_count % TM_COUNT_CYCLE
         self.data = data
 
     def encode(self) -> bytes:
@@ -94,8 +99,8 @@ class TelemetryDownlink:
             marker = b"\x01" if i < len(chunks) - 1 else b"\x00"
             frame = TmFrame(self.vc, self.master_count, self.vc_count, marker + chunk)
             self.node.send_frame(frame.encode())
-            self.master_count = (self.master_count + 1) & 0xFFFF
-            self.vc_count = (self.vc_count + 1) & 0xFFFF
+            self.master_count = (self.master_count + 1) % TM_COUNT_CYCLE
+            self.vc_count = (self.vc_count + 1) % TM_COUNT_CYCLE
             self.frames_sent += 1
 
     def _run(self):
@@ -136,7 +141,7 @@ class TelemetryMonitor:
         if self._expected_vcc is not None and frame.vc_count != self._expected_vcc:
             self.gaps += 1
             self._partial.clear()  # a hole invalidates any partial record
-        self._expected_vcc = (frame.vc_count + 1) & 0xFFFF
+        self._expected_vcc = (frame.vc_count + 1) % TM_COUNT_CYCLE
         marker, chunk = frame.data[:1], frame.data[1:]
         self._partial.extend(chunk)
         if marker == b"\x00":

@@ -1,0 +1,55 @@
+"""Disruption-tolerant ground segment operations.
+
+The one fault every satellite link is guaranteed to see is the ground
+station disappearing -- end of pass, rain blackout, handover.  This
+package hardens the §3 operations stack against scheduled and
+unscheduled link absence:
+
+- :mod:`~repro.robustness.dtn.contact` -- deterministic contact plans,
+  unscheduled outage events, and the :class:`LinkScheduler` that drives
+  the simnet link hard-down/up;
+- :mod:`~repro.robustness.dtn.recorder` -- the bounded onboard
+  :class:`SolidStateRecorder` (store-and-forward with
+  lowest-priority-first overflow shedding and ground-driven playback);
+- :mod:`~repro.robustness.dtn.transfer` -- CFDP-style checkpointed
+  resumable uploads over the existing TFTP/FTP/SCPS clients;
+- :mod:`~repro.robustness.dtn.chaos` -- the
+  :class:`OutageChaosCampaign` sweeping disruption scenarios across
+  seeds with mechanical invariants.
+"""
+
+from .chaos import (
+    OutageChaosCampaign,
+    OutageOutcome,
+    OutageScenario,
+    default_outage_scenarios,
+)
+from .contact import ContactPlan, ContactWindow, LinkScheduler, OutageEvent
+from .recorder import PRIORITY_CLASSES, SolidStateRecorder
+from .transfer import (
+    ResumableReceiver,
+    ResumableUploader,
+    TransferError,
+    TransferState,
+    restart_from_zero_upload,
+    segment_name,
+)
+
+__all__ = [
+    "ContactPlan",
+    "ContactWindow",
+    "LinkScheduler",
+    "OutageChaosCampaign",
+    "OutageEvent",
+    "OutageOutcome",
+    "OutageScenario",
+    "PRIORITY_CLASSES",
+    "ResumableReceiver",
+    "ResumableUploader",
+    "SolidStateRecorder",
+    "TransferError",
+    "TransferState",
+    "default_outage_scenarios",
+    "restart_from_zero_upload",
+    "segment_name",
+]

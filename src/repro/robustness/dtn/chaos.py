@@ -1,0 +1,518 @@
+"""Outage chaos campaign: take the ground station away, assert nothing breaks.
+
+The FDIR campaign attacks the signal plane and the overload campaign
+the demand plane; this one attacks the *link itself* -- the one fault
+every satellite mission is guaranteed to see, many times a day.  Each
+scenario builds a full simulated ground segment (simnet link + contact
+scheduler + satellite gateway + NCC + recorder + resumable uploader)
+and runs it through a disruption pattern:
+
+- ``scheduled-pass``: telemetry produced continuously across three
+  visibility windows; store-and-forward + ground-driven playback must
+  deliver every record with zero loss;
+- ``mid-upload-blackout``: a reconfiguration upload cut by a one-minute
+  unscheduled blackout; the resumable transfer must complete with
+  bytes-sent < 1.5x the file size where restart-from-zero pays >= 2x
+  (measured against a same-seed naive baseline world);
+- ``flapping-link``: short outages every 30 s under live TC traffic
+  and an upload; telecommands must retransmit across the gaps and
+  still execute exactly once (dedup absorbs the duplicates);
+- ``recorder-overflow``: a long gap overfills a small recorder; the
+  overflow must shed strictly lowest-priority-first and every p0
+  record must still reach the ground.
+
+After each run :meth:`OutageOutcome.violations` checks the invariants
+mechanically; the acceptance sweep is every scenario x 5 seeds with
+zero violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...core.obc import OnBoardController
+from ...core.registry import FunctionRegistry
+from ...ncc.campaign import NetworkControlCenter, SatelliteGateway
+from ...net.simnet import Link, Node
+from ...net.tm import TelemetryDownlink, TelemetryMonitor
+from ...obs.probes import probe as _obs_probe
+from ...sim import Simulator
+from ...sim.rng import RngRegistry
+from ..policy import RetryExhausted
+from .contact import ContactPlan, ContactWindow, LinkScheduler, OutageEvent
+from .recorder import PRIORITY_CLASSES, SolidStateRecorder
+from .transfer import (
+    ResumableReceiver,
+    ResumableUploader,
+    restart_from_zero_upload,
+)
+
+__all__ = [
+    "OutageScenario",
+    "OutageOutcome",
+    "OutageChaosCampaign",
+    "default_outage_scenarios",
+]
+
+#: margin (s) before a scheduled contact end past which the satellite
+#: stops releasing playback frames (covers propagation + serialization)
+PLAYBACK_GUARD_S = 5.0
+
+#: records the downlink may release per poll (keeps bursts inside the
+#: link's bounded transmit backlog)
+PLAYBACK_CHUNK = 64
+
+
+@dataclass(frozen=True)
+class OutageScenario:
+    """One disruption pattern against the full simulated ground segment."""
+
+    name: str
+    description: str
+    duration: float
+    #: scheduled visibility windows (start, end); empty = permanent contact
+    windows: Tuple[Tuple[float, float], ...] = ()
+    #: unscheduled outages (start, duration)
+    outages: Tuple[Tuple[float, float], ...] = ()
+    # -- telemetry production / store-and-forward
+    tm_period: float = 0.0  # 0 disables TM production
+    tm_stop: float = 0.0
+    recorder_capacity: int = 1 << 16
+    playback_poll_s: float = 10.0
+    # -- file upload through the resumable layer
+    upload_size: int = 0  # 0 disables the upload
+    upload_protocol: str = "tftp"
+    upload_start: float = 1.0
+    segment_size: int = 4096
+    #: also run a same-seed naive restart-from-zero world for comparison
+    compare_naive: bool = False
+    # -- background telecommand traffic
+    tc_period: float = 0.0  # 0 disables TC traffic
+    tc_stop: float = 0.0
+    # -- invariant knobs
+    expect_shed: bool = False
+    expect_resume: bool = False
+    expect_retransmits: bool = False
+    max_overhead_ratio: float = 1.5
+
+
+@dataclass
+class OutageOutcome:
+    """Everything one scenario run produced, plus the invariant checks."""
+
+    scenario: OutageScenario
+    seed: int
+    completed: bool = True
+    error: Optional[str] = None
+    # upload results
+    upload_done: bool = False
+    upload_state: Optional[object] = None
+    assembled_ok: Optional[bool] = None
+    naive_bytes: Optional[int] = None
+    # telemetry results
+    produced: Dict[str, int] = field(default_factory=dict)
+    delivered: Dict[str, int] = field(default_factory=dict)
+    recorder_status: dict = field(default_factory=dict)
+    monitor_gaps: int = 0
+    # plumbing counters
+    link_stats: dict = field(default_factory=dict)
+    gateway_stats: dict = field(default_factory=dict)
+    ncc_stats: dict = field(default_factory=dict)
+
+    # -- the disruption-tolerance invariants -------------------------------
+    def violations(self) -> List[str]:
+        v: List[str] = []
+        s = self.scenario
+        tag = f"[{s.name} seed={self.seed}]"
+        # 1. no hang: the run completed inside its simulated horizon
+        if not self.completed:
+            v.append(f"{tag} run did not complete: {self.error}")
+            return v
+        # 2. the upload eventually completes, correctly, with bounded
+        #    re-transmission overhead
+        if s.upload_size > 0:
+            if not self.upload_done:
+                v.append(f"{tag} upload never completed")
+            elif self.upload_state is not None:
+                ratio = self.upload_state.overhead_ratio
+                if ratio > s.max_overhead_ratio:
+                    v.append(
+                        f"{tag} upload overhead {ratio:.2f}x > "
+                        f"{s.max_overhead_ratio}x"
+                    )
+                if s.expect_resume and self.upload_state.resumes < 1:
+                    v.append(f"{tag} upload was never interrupted/resumed")
+            if self.assembled_ok is False:
+                v.append(f"{tag} assembled file does not match the original")
+            if s.compare_naive and self.naive_bytes is not None:
+                naive_ratio = self.naive_bytes / s.upload_size
+                if naive_ratio < 1.95:
+                    v.append(
+                        f"{tag} naive baseline only paid {naive_ratio:.2f}x "
+                        "(blackout did not bite; scenario mis-timed)"
+                    )
+        # 3. store-and-forward telemetry: conservation + loss discipline
+        if s.tm_period > 0:
+            n_prod = sum(self.produced.values())
+            n_del = sum(self.delivered.values())
+            rec = self.recorder_status
+            recorded = rec.get("recorded", 0)
+            shed = rec.get("shed", 0)
+            dropped = rec.get("dropped", 0)
+            evicted = rec.get("evicted", 0)
+            played = rec.get("played_back", 0)
+            pending = rec.get("pending", 0)
+            # conservation closes at both edges of the recorder
+            if recorded + dropped != n_prod:
+                v.append(
+                    f"{tag} recorder ingress: {recorded} recorded + "
+                    f"{dropped} dropped != {n_prod} produced"
+                )
+            if played + pending + evicted != recorded:
+                v.append(
+                    f"{tag} recorder egress: {played} played + {pending} "
+                    f"pending + {evicted} evicted != {recorded} recorded"
+                )
+            if rec.get("pending", 0) != 0:
+                v.append(
+                    f"{tag} {rec['pending']} records still onboard at end "
+                    "(playback incomplete)"
+                )
+            if not s.expect_shed:
+                if shed:
+                    v.append(f"{tag} recorder shed {shed} below capacity")
+                if n_del != n_prod:
+                    v.append(
+                        f"{tag} TM loss: delivered {n_del} != produced {n_prod}"
+                    )
+                if self.monitor_gaps:
+                    v.append(f"{tag} {self.monitor_gaps} TM continuity gaps")
+            else:
+                if not shed:
+                    v.append(f"{tag} overflow scenario never shed")
+                shed_p0 = rec.get("shed_by_class", {}).get("p0", 0)
+                if shed_p0:
+                    v.append(f"{tag} shed {shed_p0} p0 records (priority inversion)")
+                if self.delivered.get("p0", 0) != self.produced.get("p0", 0):
+                    v.append(
+                        f"{tag} p0 loss: {self.delivered.get('p0', 0)}/"
+                        f"{self.produced.get('p0', 0)} delivered"
+                    )
+        # 4. exactly-once telecommands across the gaps
+        issued = self.ncc_stats.get("tc_issued", 0)
+        executed = self.gateway_stats.get("executed", 0)
+        rejected = self.gateway_stats.get("rejected", 0)
+        if executed + rejected > issued:
+            v.append(
+                f"{tag} gateway executed {executed}+{rejected} > "
+                f"{issued} issued (duplicate execution)"
+            )
+        if (
+            self.ncc_stats.get("exhausted", 0) == 0
+            and rejected == 0
+            and executed != issued
+        ):
+            v.append(
+                f"{tag} executed {executed} != issued {issued} with no "
+                "exhausted transactions (lost or duplicated TC)"
+            )
+        if s.expect_retransmits:
+            if self.ncc_stats.get("retransmits", 0) == 0:
+                v.append(f"{tag} flapping link never forced a TC retransmit")
+        return v
+
+
+class _ObcHost:
+    """Minimal stand-in for a payload: just hosts the controller."""
+
+    def __init__(self) -> None:
+        self.obc = OnBoardController()
+
+
+class _World:
+    """One fully-wired simulated ground segment for a scenario run."""
+
+    def __init__(self, scenario: OutageScenario, seed: int, stream: str) -> None:
+        self.scenario = scenario
+        self.sim = Simulator()
+        self.reg = RngRegistry(seed)
+        self.ground = Node(self.sim, "ncc", 1)
+        self.space = Node(self.sim, "sat", 2)
+        self.link = Link(self.sim, delay=0.25, rate_bps=1e6)
+        self.link.attach(self.ground)
+        self.link.attach(self.space)
+        self.plan = ContactPlan(
+            tuple(ContactWindow(s, e) for s, e in scenario.windows)
+        )
+        self.scheduler = LinkScheduler(
+            self.link,
+            self.plan,
+            tuple(OutageEvent(s, d) for s, d in scenario.outages),
+            name=f"{scenario.name}.{stream}",
+        )
+        self.host = _ObcHost()
+        self.gateway = SatelliteGateway(self.space, self.host)
+        self.receiver = ResumableReceiver(self.gateway.uploads)
+        self.gateway.attach_transfer(self.receiver)
+        self.ncc = NetworkControlCenter(
+            self.ground,
+            FunctionRegistry(),
+            sat_address=2,
+            rng=self.reg.stream(f"dtn.chaos.{stream}.jitter"),
+        )
+        self.recorder = SolidStateRecorder(scenario.recorder_capacity)
+        self.host.obc.attach_recorder(self.recorder)
+        self.uploader = ResumableUploader(
+            self.ncc, self.scheduler, segment_size=scenario.segment_size
+        )
+        self.produced: Dict[str, int] = {c: 0 for c in PRIORITY_CLASSES}
+        self.delivered: Dict[str, int] = {c: 0 for c in PRIORITY_CLASSES}
+        self.monitor: Optional[TelemetryMonitor] = None
+
+    # -- store-and-forward telemetry chain ---------------------------------
+    def wire_telemetry(self) -> None:
+        sim, sc = self.sim, self.scenario
+
+        def tm_source():
+            # the satellite releases stored telemetry only while it has
+            # carrier lock and (plan-aware) the pass is not about to end
+            now = sim.now
+            if not self.scheduler.effective(now):
+                return []
+            w = self.plan.window_at(now)
+            if w is not None and w.end - now < PLAYBACK_GUARD_S:
+                return []
+            return self.recorder.drain_authorized(max_records=PLAYBACK_CHUNK)
+
+        TelemetryDownlink(self.space, tm_source, period=2.0)
+        self.monitor = TelemetryMonitor(self.ground)
+        # the monitor replaces IP delivery on the ground node: forward
+        # non-TM frames (UDP/TCP traffic) onward to the IP stack
+        monitor, ground = self.monitor, self.ground
+        original_tap = ground.frame_tap
+
+        def tap(raw: bytes) -> None:
+            original_tap(raw)
+            if monitor.bad_frames:
+                monitor.bad_frames = 0
+                ground.ip.receive_frame(raw)
+
+        ground.frame_tap = tap
+
+        def producer():
+            i = 0
+            while sim.now < sc.tm_stop:
+                cls = PRIORITY_CLASSES[i % len(PRIORITY_CLASSES)]
+                self.recorder.record(
+                    {"cls": cls, "seq": i, "t": sim.now}, cls=cls
+                )
+                self.produced[cls] += 1
+                i += 1
+                yield sim.timeout(sc.tm_period)
+
+        def drainer():
+            while True:
+                record = yield monitor.records.get()
+                self.delivered[record["cls"]] += 1
+
+        def playback_driver():
+            # the NCC grants the recorder a playback budget at every
+            # poll it can reach the satellite -- the deficit grant in
+            # the OBC keeps authorization <= pending
+            while True:
+                if self.scheduler.effective(sim.now):
+                    try:
+                        yield from self.ncc.send_telecommand("playback", {})
+                    except RetryExhausted:
+                        pass
+                yield sim.timeout(sc.playback_poll_s)
+
+        sim.process(producer(), name="tm-producer")
+        sim.process(drainer(), name="tm-drainer")
+        sim.process(playback_driver(), name="playback-driver")
+
+
+class OutageChaosCampaign:
+    """Run every outage scenario across seeds; collect outcomes + violations."""
+
+    def __init__(
+        self,
+        seeds: Sequence[int] = (1, 2, 3, 4, 5),
+        scenarios: Optional[Sequence[OutageScenario]] = None,
+    ) -> None:
+        self.seeds = list(seeds)
+        self.scenarios = list(
+            scenarios if scenarios is not None else default_outage_scenarios()
+        )
+        self.outcomes: List[OutageOutcome] = []
+        self._probe = _obs_probe("dtn.chaos")
+
+    # -- one run -----------------------------------------------------------
+    def run_one(self, scenario: OutageScenario, seed: int) -> OutageOutcome:
+        out = OutageOutcome(scenario=scenario, seed=seed)
+        try:
+            self._run_world(scenario, seed, out)
+            if scenario.compare_naive:
+                out.naive_bytes = self._run_naive(scenario, seed)
+        except Exception as exc:  # pragma: no cover -- invariant 1
+            out.completed = False
+            out.error = f"{type(exc).__name__}: {exc}"
+        return out
+
+    def _run_world(
+        self, scenario: OutageScenario, seed: int, out: OutageOutcome
+    ) -> None:
+        w = _World(scenario, seed, stream="resumable")
+        sim = w.sim
+        if scenario.tm_period > 0:
+            w.wire_telemetry()
+        if scenario.upload_size > 0:
+            blob = bytes(
+                w.reg.stream("dtn.chaos.blob").integers(
+                    0, 256, scenario.upload_size, dtype="uint8"
+                )
+            )
+            filename = f"{scenario.name}.bit"
+
+            def upload_driver():
+                yield sim.timeout(scenario.upload_start)
+                state = yield from w.uploader.upload(
+                    filename, blob, scenario.upload_protocol
+                )
+                out.upload_done = True
+                out.upload_state = state
+
+            sim.process(upload_driver(), name="upload-driver")
+        if scenario.tc_period > 0:
+
+            def tc_driver():
+                while sim.now < scenario.tc_stop:
+                    try:
+                        yield from w.ncc.send_telecommand("status", {})
+                    except RetryExhausted:
+                        pass
+                    yield sim.timeout(scenario.tc_period)
+
+            sim.process(tc_driver(), name="tc-driver")
+        sim.run(until=scenario.duration)
+        out.produced = dict(w.produced)
+        out.delivered = dict(w.delivered)
+        out.recorder_status = w.recorder.status()
+        out.monitor_gaps = w.monitor.gaps if w.monitor is not None else 0
+        out.link_stats = w.scheduler.stats()
+        out.gateway_stats = dict(w.gateway.stats)
+        out.ncc_stats = w.ncc.stats
+        if scenario.upload_size > 0:
+            blob_check = w.gateway.uploads.get(f"{scenario.name}.bit")
+            out.assembled_ok = blob_check is not None and len(
+                blob_check
+            ) == scenario.upload_size
+
+    def _run_naive(self, scenario: OutageScenario, seed: int) -> Optional[int]:
+        """Same seed, same outages, restart-from-zero upload: the yardstick."""
+        w = _World(scenario, seed, stream="naive")
+        sim = w.sim
+        blob = bytes(
+            w.reg.stream("dtn.chaos.blob").integers(
+                0, 256, scenario.upload_size, dtype="uint8"
+            )
+        )
+        holder: Dict[str, int] = {}
+
+        def naive_driver():
+            yield sim.timeout(scenario.upload_start)
+            holder["bytes"] = yield from restart_from_zero_upload(
+                w.ncc,
+                f"{scenario.name}.bit",
+                blob,
+                scenario.upload_protocol,
+                scheduler=w.scheduler,
+            )
+
+        sim.process(naive_driver(), name="naive-upload-driver")
+        sim.run(until=scenario.duration)
+        return holder.get("bytes")
+
+    # -- the campaign ------------------------------------------------------
+    def run(self) -> List[OutageOutcome]:
+        """All scenarios x all seeds."""
+        self.outcomes = []
+        p = self._probe
+        for scenario in self.scenarios:
+            for seed in self.seeds:
+                outcome = self.run_one(scenario, seed)
+                self.outcomes.append(outcome)
+                if p is not None:
+                    p.count("runs")
+                    n_viol = len(outcome.violations())
+                    if n_viol:
+                        p.count("violations", n_viol)
+                        p.event(
+                            "dtn.chaos_violation",
+                            scenario=scenario.name,
+                            seed=seed,
+                            violations=n_viol,
+                        )
+        return self.outcomes
+
+    def all_violations(self) -> List[str]:
+        """Every invariant violation across every outcome (empty = pass)."""
+        out: List[str] = []
+        for o in self.outcomes:
+            out.extend(o.violations())
+        return out
+
+
+def default_outage_scenarios() -> List[OutageScenario]:
+    """The four canonical link-disruption patterns."""
+    return [
+        OutageScenario(
+            name="scheduled-pass",
+            description="telemetry produced continuously across three "
+            "visibility windows; store-and-forward playback delivers every "
+            "record with zero loss",
+            duration=2000.0,
+            windows=((0.0, 200.0), (800.0, 1000.0), (1600.0, 1900.0)),
+            tm_period=5.0,
+            tm_stop=1650.0,
+        ),
+        OutageScenario(
+            name="mid-upload-blackout",
+            description="a reconfiguration upload cut by a 60 s unscheduled "
+            "blackout; resumable transfer completes under 1.5x bytes where "
+            "restart-from-zero pays >= 2x",
+            duration=400.0,
+            outages=((12.0, 60.0),),
+            upload_size=32768,
+            upload_protocol="tftp",
+            compare_naive=True,
+            expect_resume=True,
+        ),
+        OutageScenario(
+            name="flapping-link",
+            description="8 s outages every 30 s under live TC traffic and an "
+            "upload; TCs retransmit across the gaps and execute exactly once",
+            duration=600.0,
+            outages=tuple((20.0 + 30.0 * k, 8.0) for k in range(8)),
+            upload_size=32768,
+            upload_protocol="tftp",
+            upload_start=5.0,
+            tc_period=5.0,
+            tc_stop=250.0,
+            expect_retransmits=True,
+            max_overhead_ratio=1.6,
+        ),
+        OutageScenario(
+            name="recorder-overflow",
+            description="a 14-minute gap overfills a 12 KiB recorder; "
+            "overflow sheds lowest-priority-first and every p0 record "
+            "still reaches the ground",
+            duration=1200.0,
+            windows=((0.0, 60.0), (900.0, 1160.0)),
+            tm_period=1.0,
+            tm_stop=660.0,
+            recorder_capacity=12288,
+            expect_shed=True,
+        ),
+    ]

@@ -37,6 +37,7 @@ from .oracles import (
 )
 from .runner import ScenarioResult, ScenarioRunner, result_violations, run_scenario
 from .spec import (
+    ContactSchedule,
     FadeSegment,
     FaultEvent,
     GroundLink,
@@ -50,6 +51,7 @@ from .spec import (
 
 __all__ = [
     "BatchScalarDecodeOracle",
+    "ContactSchedule",
     "FadeSegment",
     "FaultEvent",
     "GoldenRecord",

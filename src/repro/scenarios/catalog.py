@@ -20,6 +20,7 @@ from typing import Dict, List
 
 from ..sim import RngRegistry, derive_seed
 from .spec import (
+    ContactSchedule,
     FadeSegment,
     FaultEvent,
     GroundLink,
@@ -157,6 +158,41 @@ def canonical_scenarios() -> List[ScenarioSpec]:
             frames=44,
             fades=(FadeSegment(start=8, end=28, peak_db=8.0, shape="ramp"),),
             surge=SurgeProfile(start=6, end=20, multiplier=4.0),
+        ),
+        ScenarioSpec(
+            name="contact-plan-pass",
+            description="decoder swap commanded before the ground "
+            "station rises: the DTN layer holds the campaign until the "
+            "scheduled contact window opens, then completes it in-pass",
+            frames=24,
+            contacts=ContactSchedule(windows=((6.0, 1800.0),)),
+            reconfigs=(
+                ReconfigAction(
+                    frame=2,
+                    equipment="decod0",
+                    function="decod.turbo",
+                    protocol="tftp",
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="blackout-resume-upload",
+            description="a 30 s unscheduled blackout cuts the decoder "
+            "swap upload mid-transfer: the checkpointed transfer "
+            "resumes at the outage end without re-sending completed "
+            "segments",
+            frames=24,
+            # 64-byte segments stretch the (small) bitstream transfer
+            # across the outage onset so the blackout actually bites
+            contacts=ContactSchedule(outages=((5.0, 30.0),), segment_size=64),
+            reconfigs=(
+                ReconfigAction(
+                    frame=2,
+                    equipment="decod0",
+                    function="decod.turbo",
+                    protocol="tftp",
+                ),
+            ),
         ),
         ScenarioSpec(
             name="lossy-ground",

@@ -41,6 +41,14 @@ from ..net.simnet import Link, Node
 from ..obs.probes import probe as _obs_probe
 from ..obs.trace import Tracer
 from ..ncc.traffic import TrafficModel
+from ..robustness.dtn import (
+    ContactPlan,
+    ContactWindow,
+    LinkScheduler,
+    OutageEvent,
+    ResumableReceiver,
+    ResumableUploader,
+)
 from ..robustness.fdir.chaos import TrafficWorld, build_traffic_world
 from ..robustness.overload.admission import AdmissionController
 from ..robustness.overload.brownout import BrownoutLadder
@@ -57,6 +65,7 @@ from .spec import (
 __all__ = [
     "MAX_ALARM_TRIPS",
     "MAX_POLICY_TRANSITIONS",
+    "MAX_UPLOAD_OVERHEAD",
     "ScenarioResult",
     "ScenarioRunner",
     "result_violations",
@@ -74,6 +83,11 @@ MAX_POLICY_TRANSITIONS = 3
 #: extra simulated seconds granted beyond the mission for campaign
 #: retries to drain before the no-hang invariant trips
 CAMPAIGN_GRACE_S = 900.0
+
+#: resumable uploads must cost at most this many times the file size in
+#: bytes offered to the link (restart-from-zero pays >= 2x across one
+#: mid-transfer blackout)
+MAX_UPLOAD_OVERHEAD = 1.5
 
 
 @dataclass
@@ -250,6 +264,27 @@ class ScenarioRunner:
             fpga_geometry=(cfg.fpga_rows, cfg.fpga_cols, cfg.fpga_bits_per_clb),
             rng=rngs.stream("ground.jitter"),
         )
+        if spec.contacts is not None:
+            # DTN ground segment: the contact scheduler drives the link
+            # up and down, and every reconfiguration upload rides the
+            # checkpointed resumable-transfer layer so a campaign that
+            # straddles a gap resumes instead of re-sending the file
+            plan = ContactPlan(
+                tuple(ContactWindow(s, e) for s, e in spec.contacts.windows)
+            )
+            scheduler = LinkScheduler(
+                link,
+                plan,
+                tuple(OutageEvent(s, d) for s, d in spec.contacts.outages),
+                name=f"scenario.{spec.name}",
+            )
+            receiver = ResumableReceiver(gateway.uploads)
+            gateway.attach_transfer(receiver)
+            uploader = ResumableUploader(
+                ncc, scheduler, segment_size=spec.contacts.segment_size
+            )
+            ncc.attach_resumable(uploader)
+            self._dtn = (scheduler, uploader)
         return sim, rngs, world, ncc, gateway
 
     # -- per-frame channel/fault compilation -------------------------------
@@ -454,6 +489,7 @@ class ScenarioRunner:
         spec = self.spec
         self._chains: Dict[str, object] = {}
         self._demand: Optional[_DemandPlane] = None
+        self._dtn = None
         self._m = {
             "attempted": 0,
             "delivered": 0,
@@ -546,6 +582,28 @@ class ScenarioRunner:
         )
         if self._demand is not None:
             m["overload"] = self._demand.summary()
+        if self._dtn is not None:
+            scheduler, uploader = self._dtn
+            contact = {
+                k: (round(val, 6) if isinstance(val, float) else val)
+                for k, val in scheduler.stats().items()
+            }
+            m["dtn"] = {
+                "contact": contact,
+                "uploader": dict(uploader.stats),
+                "transfers": {
+                    name: {
+                        "segments": st.num_segments,
+                        "completed": len(st.completed),
+                        "resumes": st.resumes,
+                        "segments_resent": st.segments_resent,
+                        "bytes_sent": st.bytes_sent,
+                        "overhead_ratio": round(st.overhead_ratio, 6),
+                        "finished": st.finished,
+                    }
+                    for name, st in sorted(uploader.journal.items())
+                },
+            }
         return m
 
 
@@ -655,6 +713,20 @@ def result_violations(result: ScenarioResult) -> List[str]:
             v.append("surge scenario produced no overload accounting")
         else:
             v.extend(_overload_violations(spec, ov))
+    if spec.contacts is not None:
+        dtn = m.get("dtn")
+        if dtn is None:
+            v.append("contact scenario produced no DTN accounting")
+        else:
+            for name, tr in sorted(dtn["transfers"].items()):
+                if not tr["finished"]:
+                    v.append(f"dtn: transfer {name} never finished")
+                elif tr["overhead_ratio"] > MAX_UPLOAD_OVERHEAD:
+                    v.append(
+                        f"dtn: transfer {name} cost "
+                        f"{tr['overhead_ratio']:.2f}x the file size "
+                        f"(bound {MAX_UPLOAD_OVERHEAD}x)"
+                    )
     if spec.reconfigs:
         ncc_stats, gw = m["ncc"], m["gateway"]
         if gw["executed"] != ncc_stats["tc_issued"]:

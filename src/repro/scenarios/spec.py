@@ -29,6 +29,7 @@ __all__ = [
     "CHANNEL_FAULT_KINDS",
     "EQUIPMENT_FAULT_KINDS",
     "FADE_SHAPES",
+    "ContactSchedule",
     "FaultEvent",
     "FadeSegment",
     "GroundLink",
@@ -248,6 +249,64 @@ class ReconfigAction:
 
 
 @dataclass(frozen=True)
+class ContactSchedule:
+    """Ground-station visibility plan for the TC/TM link.
+
+    ``windows`` are ``(start, end)`` pairs in simulated seconds during
+    which the ground station sees the satellite; an empty tuple means
+    permanent contact (the GEO assumption every other scenario makes
+    implicitly).  ``outages`` are unscheduled ``(start, duration)``
+    blackouts -- rain, ground-equipment faults -- that take the link
+    down even inside a scheduled window.  When a schedule is present
+    the runner drives the ground link up and down with the DTN contact
+    scheduler and routes reconfiguration uploads through the
+    checkpointed resumable-transfer layer, so campaigns wait out the
+    gaps and resume instead of re-sending whole files.
+    """
+
+    windows: Tuple[Tuple[float, float], ...] = ()
+    outages: Tuple[Tuple[float, float], ...] = ()
+    #: resumable-upload segment size (bytes)
+    segment_size: int = 4096
+
+    def problems(self) -> List[str]:
+        out: List[str] = []
+        prev_end: Optional[float] = None
+        for i, w in enumerate(self.windows):
+            if len(w) != 2:
+                out.append(f"contacts.windows[{i}] must be (start, end)")
+                continue
+            start, end = w
+            if not 0 <= start < end:
+                out.append(
+                    f"contacts.windows[{i}]: need 0 <= start {start} "
+                    f"< end {end}"
+                )
+            if prev_end is not None and start < prev_end:
+                out.append(
+                    f"contacts.windows[{i}] starts at {start}, before the "
+                    f"previous window ends at {prev_end}"
+                )
+            prev_end = end
+        for i, o in enumerate(self.outages):
+            if len(o) != 2:
+                out.append(f"contacts.outages[{i}] must be (start, duration)")
+                continue
+            start, duration = o
+            if start < 0:
+                out.append(f"contacts.outages[{i}]: start {start} must be >= 0")
+            if duration <= 0:
+                out.append(
+                    f"contacts.outages[{i}]: duration {duration} must be > 0"
+                )
+        if self.segment_size < 1:
+            out.append(
+                f"contacts.segment_size {self.segment_size} must be >= 1"
+            )
+        return out
+
+
+@dataclass(frozen=True)
 class LinkBudget:
     """Uplink/downlink budget feeding the degraded-mode policy."""
 
@@ -306,6 +365,8 @@ class ScenarioSpec:
     ground: GroundLink = field(default_factory=GroundLink)
     #: demand-plane load surge (None = no overload accounting)
     surge: Optional[SurgeProfile] = None
+    #: ground-station visibility plan (None = permanent contact, no DTN)
+    contacts: Optional[ContactSchedule] = None
     #: carriers expected in service at mission end (None = all)
     expected_final_active: Optional[int] = None
     #: trailing frames that must deliver cleanly at the expected width
@@ -346,6 +407,8 @@ class ScenarioSpec:
         out.extend(self.ground.problems())
         if self.surge is not None:
             out.extend(self.surge.problems(self.frames))
+        if self.contacts is not None:
+            out.extend(self.contacts.problems())
         return out
 
     def validate(self) -> "ScenarioSpec":
@@ -380,8 +443,16 @@ class ScenarioSpec:
 
     # -- serialization ----------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """Plain JSON-able dict (tuples become lists)."""
-        return asdict(self)
+        """Plain JSON-able dict (tuples become lists).
+
+        Fields added after the golden corpus froze (``contacts``) are
+        omitted at their default so pre-existing spec hashes cannot
+        drift.
+        """
+        d = asdict(self)
+        if self.contacts is None:
+            d.pop("contacts")
+        return d
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
@@ -400,11 +471,19 @@ class ScenarioSpec:
             link = LinkBudget(**d["link"]) if "link" in d else LinkBudget()
             ground = GroundLink(**d["ground"]) if "ground" in d else GroundLink()
             surge = SurgeProfile(**d["surge"]) if d.get("surge") else None
+            contacts = None
+            if d.get("contacts"):
+                c = dict(d["contacts"])
+                contacts = ContactSchedule(
+                    windows=tuple(tuple(w) for w in c.pop("windows", ())),
+                    outages=tuple(tuple(o) for o in c.pop("outages", ())),
+                    **c,
+                )
         except TypeError as exc:
             raise ScenarioError(f"bad scenario dict: {exc}") from exc
         for key in (
             "traffic", "fades", "faults", "reconfigs", "link", "ground",
-            "surge",
+            "surge", "contacts",
         ):
             d.pop(key, None)
         try:
@@ -416,6 +495,7 @@ class ScenarioSpec:
                 link=link,
                 ground=ground,
                 surge=surge,
+                contacts=contacts,
                 **d,
             )
         except TypeError as exc:

@@ -1,0 +1,229 @@
+"""Dead-link behaviour of the transport and transfer protocols.
+
+A hard-down link (``link.set_up(False)``) is not a lossy link: nothing
+gets through, in either direction, for minutes.  Every client must
+detect that at a *bounded* simulated time -- capped exponential backoff
+ending in a link-down error -- instead of retrying forever, and every
+server must hold its side of a half-finished transfer long enough for
+the resumable layer to repair it at the next pass.
+"""
+
+import pytest
+
+from repro.net import Link, Node, TcpConnection, TcpListener
+from repro.net.scps import ScpsError, ScpsFpReceiver, ScpsFpSender
+from repro.net.tcp import TcpLinkDown
+from repro.net.tftp import TftpClient, TftpError, TftpServer
+from repro.sim import Simulator
+
+pytestmark = pytest.mark.dtn
+
+
+def pair(rate=1e6, delay=0.25):
+    sim = Simulator()
+    a = Node(sim, "gs", 1)
+    b = Node(sim, "sat", 2)
+    link = Link(sim, delay=delay, rate_bps=rate)
+    link.attach(a)
+    link.attach(b)
+    return sim, a, b, link
+
+
+class TestTcpDeadLink:
+    def test_connect_into_dead_link_raises_bounded(self):
+        """A SYN into a dead link fails with TcpLinkDown, not a hang."""
+        sim, a, b, link = pair()
+        link.set_up(False)
+        outcome = {}
+
+        def cli(sim):
+            conn = TcpConnection(a.ip, 41000, 2, 80)
+            try:
+                yield conn.connect()
+                outcome["result"] = "connected"
+            except TcpLinkDown:
+                outcome["result"] = "link_down"
+                outcome["t"] = sim.now
+
+        sim.process(cli(sim))
+        sim.run(until=1000.0)
+        assert outcome["result"] == "link_down"
+        # 1.5 + 3 + 6 + 12 + 24 + 30*4 (capped) ~ 166.5 s of backoff
+        assert outcome["t"] < 250.0
+
+    def test_established_sender_declares_down_and_recv_gets_eof(self):
+        """Unacked data over a dead link ends in link_down + EOF locally."""
+        sim, a, b, link = pair()
+        outcome = {}
+
+        def srv(sim):
+            lst = TcpListener(b.ip, 80)
+            conn = yield lst.accept()
+            yield conn.recv()  # the pre-outage exchange
+
+        def cli(sim):
+            conn = TcpConnection(a.ip, 41001, 2, 80)
+            yield conn.connect()
+            conn.send(b"pre-outage")
+            yield sim.timeout(5.0)
+            link.set_up(False)
+            conn.send(b"x" * 4000)  # never acknowledged
+            got = yield conn.recv()
+            outcome["eof"] = got is None
+            outcome["t"] = sim.now
+            outcome["stats"] = dict(conn.stats)
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run(until=1000.0)
+        assert outcome["eof"] is True
+        assert outcome["stats"]["link_down"] == 1
+        # capped exponential backoff bounds detection time
+        assert outcome["t"] < 250.0
+
+    def test_short_outage_recovers_without_link_down(self):
+        """An outage shorter than the retransmission budget just heals."""
+        sim, a, b, link = pair()
+        outcome = {}
+        payload = b"y" * 3000
+
+        def srv(sim):
+            lst = TcpListener(b.ip, 80)
+            conn = yield lst.accept()
+            buf = bytearray()
+            while len(buf) < len(payload):
+                chunk = yield conn.recv()
+                if chunk is None:
+                    break
+                buf.extend(chunk)
+            outcome["received"] = bytes(buf)
+
+        def cli(sim):
+            conn = TcpConnection(a.ip, 41002, 2, 80)
+            yield conn.connect()
+            yield sim.timeout(1.0)
+            link.set_up(False)
+            conn.send(payload)
+            yield sim.timeout(10.0)
+            link.set_up(True)
+            yield sim.timeout(60.0)
+            outcome["stats"] = dict(conn.stats)
+
+        sim.process(srv(sim))
+        sim.process(cli(sim))
+        sim.run(until=200.0)
+        assert outcome["received"] == payload
+        assert outcome["stats"]["link_down"] == 0
+
+
+class TestScpsDeadLink:
+    def test_put_into_dead_link_raises_link_down(self):
+        """Silent EOF probes back off exponentially, then declare down."""
+        sim, a, b, link = pair()
+        ScpsFpReceiver(b.ip)
+        outcome = {}
+
+        def cli(sim):
+            sender = ScpsFpSender(a.ip, 2, rate_bps=1e6)
+            yield sim.timeout(1.0)
+            link.set_up(False)
+            try:
+                yield from sender.put("f.bit", b"z" * 5000)
+                outcome["result"] = "done"
+            except ScpsError as exc:
+                outcome["result"] = "error"
+                outcome["msg"] = str(exc)
+                outcome["t"] = sim.now
+
+        sim.process(cli(sim))
+        sim.run(until=500.0)
+        assert outcome["result"] == "error"
+        assert "link down" in outcome["msg"]
+        # 1.5+3+6+12+12+12 = 46.5 s of probes plus the stream time
+        assert outcome["t"] < 120.0
+
+
+class TestTftpDeadLink:
+    def test_write_into_dead_link_bounded_error(self):
+        """A WRQ into a dead link errors out; the server holds nothing."""
+        sim, a, b, link = pair()
+        server = TftpServer(b.ip)
+        outcome = {}
+
+        def cli(sim):
+            client = TftpClient(a.ip, 2)
+            yield sim.timeout(0.5)
+            link.set_up(False)
+            try:
+                yield from client.write("f.bit", b"w" * 1500)
+            except TftpError:
+                outcome["t"] = sim.now
+
+        sim.process(cli(sim))
+        sim.run(until=200.0)
+        # retries * timeout = 8 * 2 s per phase
+        assert outcome["t"] < 40.0
+        assert "f.bit" not in server.files
+
+    def test_server_idle_reack_rides_out_a_short_outage(self):
+        """The server re-ACKs through a quiet window instead of aborting.
+
+        The outage is shorter than both the client's per-block retry
+        budget (8 x 2 s) and the server's idle give-up (8 x 4 s), so
+        the transfer must complete cleanly once the link returns.
+        """
+        sim, a, b, link = pair()
+        server = TftpServer(b.ip)
+        payload = bytes(range(256)) * 6  # 3 blocks
+        outcome = {}
+
+        def cli(sim):
+            client = TftpClient(a.ip, 2)
+            yield from client.write("f.bit", payload)
+            outcome["t"] = sim.now
+
+        def chaos(sim):
+            yield sim.timeout(0.9)  # mid-transfer
+            link.set_up(False)
+            yield sim.timeout(6.0)
+            link.set_up(True)
+
+        sim.process(cli(sim))
+        sim.process(chaos(sim))
+        sim.run(until=120.0)
+        assert server.files.get("f.bit") == payload
+        assert outcome["t"] < 60.0
+
+    def test_final_ack_dies_in_blackout_but_data_survives(self):
+        """Dallying: the data completed on board even though the ACK died.
+
+        The link drops after the final DATA block lands but before its
+        ACK reaches the ground.  The client (correctly) reports failure,
+        yet the server holds the complete file -- exactly the gap the
+        resumable layer's ``xfer_status`` report repairs without
+        re-sending the segment.
+        """
+        sim, a, b, link = pair()
+        server = TftpServer(b.ip)
+        payload = b"s" * 100  # single block
+        outcome = {}
+
+        def cli(sim):
+            client = TftpClient(a.ip, 2)
+            try:
+                yield from client.write("f.bit", payload)
+                outcome["result"] = "ok"
+            except TftpError:
+                outcome["result"] = "error"
+
+        def chaos(sim):
+            # WRQ lands ~0.25, ACK0 back ~0.50, DATA1 lands ~0.755,
+            # final ACK would land ~1.006 -- cut the link in between
+            yield sim.timeout(0.9)
+            link.set_up(False)
+
+        sim.process(cli(sim))
+        sim.process(chaos(sim))
+        sim.run(until=200.0)
+        assert outcome["result"] == "error"
+        assert server.files.get("f.bit") == payload

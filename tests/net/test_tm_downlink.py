@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net import Link, Node
-from repro.net.tm import TelemetryDownlink, TelemetryMonitor, TmFrame
+from repro.net.tm import TM_COUNT_CYCLE, TelemetryDownlink, TelemetryMonitor, TmFrame
 from repro.sim import RngRegistry, Simulator
 
 
@@ -33,6 +33,14 @@ class TestTmFrame:
     def test_counter_wrap(self):
         f = TmFrame(0, 0x1_0005, 0x2_0009, b"")
         assert f.master_count == 5 and f.vc_count == 9
+
+    def test_counters_are_8_bit_on_the_wire(self):
+        """CCSDS TM frame counts are one octet: 256 wraps to 0."""
+        assert TM_COUNT_CYCLE == 256
+        f = TmFrame.decode(TmFrame(0, 255, 255, b"x").encode())
+        assert (f.master_count, f.vc_count) == (255, 255)
+        g = TmFrame.decode(TmFrame(0, 256, 257, b"x").encode())
+        assert (g.master_count, g.vc_count) == (0, 1)
 
 
 class TestTelemetryStream:
@@ -98,6 +106,36 @@ class TestTelemetryStream:
         sim.run(until=60)
         assert mon.frames_received > 0
         assert mon.gaps > 0  # losses were detected by the VC counter
+
+    def test_long_playback_crosses_counter_wrap_without_gaps(self):
+        """A recorder playback longer than one counter cycle stays
+        continuous: 600 frames cross the 8-bit wrap twice and the
+        monitor must not report a single gap."""
+        sim, sat, ncc = pair()
+        n = int(TM_COUNT_CYCLE * 2.5)
+        backlog = [{"seq": i} for i in range(n)]
+
+        def source():
+            out, backlog[:] = backlog[:40], backlog[40:]
+            return out
+
+        dl = TelemetryDownlink(sat, source, period=1.0)
+        mon = TelemetryMonitor(ncc)
+        got = []
+
+        def collector(sim):
+            while len(got) < n:
+                rec = yield mon.records.get()
+                got.append(rec)
+
+        sim.process(collector(sim))
+        sim.run(until=120)
+        assert len(got) == n
+        assert got == [{"seq": i} for i in range(n)]
+        assert mon.gaps == 0
+        assert dl.frames_sent == n
+        # the downlink counter itself stayed inside one octet
+        assert 0 <= dl.vc_count < TM_COUNT_CYCLE
 
     def test_period_validation(self):
         sim, sat, ncc = pair()

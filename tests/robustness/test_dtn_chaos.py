@@ -1,0 +1,94 @@
+"""Outage chaos campaign: the DTN acceptance sweep.
+
+Every scenario x 5 seeds with zero invariant violations is the
+tentpole's acceptance bar; the per-scenario tests below keep failures
+readable when one disruption pattern regresses.
+"""
+
+import pytest
+
+from repro.robustness.dtn import (
+    OutageChaosCampaign,
+    default_outage_scenarios,
+)
+
+pytestmark = [pytest.mark.dtn, pytest.mark.chaos]
+
+
+def by_name(name):
+    for s in default_outage_scenarios():
+        if s.name == name:
+            return s
+    raise KeyError(name)
+
+
+class TestScenarioCatalog:
+    def test_four_canonical_disruption_patterns(self):
+        names = [s.name for s in default_outage_scenarios()]
+        assert names == [
+            "scheduled-pass",
+            "mid-upload-blackout",
+            "flapping-link",
+            "recorder-overflow",
+        ]
+
+
+class TestSingleScenarios:
+    def test_scheduled_pass_delivers_every_record(self):
+        c = OutageChaosCampaign(seeds=(1,), scenarios=[by_name("scheduled-pass")])
+        (out,) = c.run()
+        assert out.violations() == []
+        assert sum(out.produced.values()) > 0
+        assert out.delivered == out.produced
+        assert out.monitor_gaps == 0
+        assert out.recorder_status["shed"] == 0
+
+    def test_blackout_resume_beats_restart_from_zero(self):
+        c = OutageChaosCampaign(
+            seeds=(1,), scenarios=[by_name("mid-upload-blackout")]
+        )
+        (out,) = c.run()
+        assert out.violations() == []
+        assert out.upload_done and out.assembled_ok
+        st = out.upload_state
+        assert st.resumes >= 1
+        # the acceptance numbers: < 1.5x resumable vs >= 2x naive
+        assert st.overhead_ratio < 1.5
+        assert out.naive_bytes >= 2 * out.scenario.upload_size
+
+    def test_flapping_link_keeps_tc_exactly_once(self):
+        c = OutageChaosCampaign(seeds=(1,), scenarios=[by_name("flapping-link")])
+        (out,) = c.run()
+        assert out.violations() == []
+        assert out.ncc_stats["retransmits"] > 0
+        executed = out.gateway_stats["executed"]
+        rejected = out.gateway_stats["rejected"]
+        assert executed + rejected <= out.ncc_stats["tc_issued"]
+
+    def test_recorder_overflow_sheds_low_priority_only(self):
+        c = OutageChaosCampaign(
+            seeds=(1,), scenarios=[by_name("recorder-overflow")]
+        )
+        (out,) = c.run()
+        assert out.violations() == []
+        rec = out.recorder_status
+        assert rec["shed"] > 0
+        assert rec["shed_by_class"]["p0"] == 0
+        assert out.delivered["p0"] == out.produced["p0"]
+
+
+class TestAcceptanceSweep:
+    def test_every_scenario_every_seed_zero_violations(self):
+        """The tentpole acceptance bar: 4 scenarios x 5 seeds, clean."""
+        campaign = OutageChaosCampaign()
+        campaign.run()
+        assert len(campaign.outcomes) == 20
+        assert campaign.all_violations() == []
+
+    def test_campaign_is_deterministic_per_seed(self):
+        s = by_name("mid-upload-blackout")
+        a = OutageChaosCampaign(seeds=(3,), scenarios=[s]).run()[0]
+        b = OutageChaosCampaign(seeds=(3,), scenarios=[s]).run()[0]
+        assert a.upload_state.bytes_sent == b.upload_state.bytes_sent
+        assert a.upload_state.resumes == b.upload_state.resumes
+        assert a.naive_bytes == b.naive_bytes

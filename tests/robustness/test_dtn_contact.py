@@ -1,0 +1,135 @@
+"""Contact plans, outage events and the link scheduler."""
+
+import pytest
+
+from repro.net import Link, Node
+from repro.robustness.dtn import (
+    ContactPlan,
+    ContactWindow,
+    LinkScheduler,
+    OutageEvent,
+)
+from repro.sim import Simulator
+
+pytestmark = pytest.mark.dtn
+
+
+def make_link():
+    sim = Simulator()
+    a = Node(sim, "gs", 1)
+    b = Node(sim, "sat", 2)
+    link = Link(sim, delay=0.25, rate_bps=1e6)
+    link.attach(a)
+    link.attach(b)
+    return sim, a, b, link
+
+
+class TestContactPlan:
+    def test_empty_plan_is_permanent_contact(self):
+        plan = ContactPlan()
+        assert plan.permanent
+        assert plan.in_contact(0.0) and plan.in_contact(1e9)
+        assert plan.next_contact(42.0) == 42.0
+        assert plan.contact_seconds(100.0) == 100.0
+
+    def test_window_queries(self):
+        plan = ContactPlan(
+            (ContactWindow(10.0, 20.0), ContactWindow(50.0, 70.0))
+        )
+        assert not plan.in_contact(5.0)
+        assert plan.in_contact(10.0)
+        assert not plan.in_contact(20.0)  # end-exclusive
+        assert plan.window_at(55.0).start == 50.0
+        assert plan.next_contact(0.0) == 10.0
+        assert plan.next_contact(15.0) == 15.0  # already inside
+        assert plan.next_contact(30.0) == 50.0
+        assert plan.next_contact(80.0) is None
+        assert plan.contact_seconds(60.0) == 20.0
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError):
+            ContactPlan((ContactWindow(0.0, 20.0), ContactWindow(10.0, 30.0)))
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            ContactPlan((ContactWindow(20.0, 10.0),))
+
+    def test_outage_validation(self):
+        sim, a, b, link = make_link()
+        with pytest.raises(ValueError):
+            LinkScheduler(link, ContactPlan(), (OutageEvent(5.0, -1.0),))
+
+
+class TestLinkScheduler:
+    def test_plan_drives_link_up_and_down(self):
+        sim, a, b, link = make_link()
+        plan = ContactPlan((ContactWindow(5.0, 10.0), ContactWindow(20.0, 30.0)))
+        sched = LinkScheduler(link, plan)
+        states = []
+
+        def sampler(sim):
+            for _ in range(35):
+                states.append((sim.now, link.up))
+                yield sim.timeout(1.0)
+
+        sim.process(sampler(sim))
+        sim.run(until=40.0)
+        by_t = dict(states)
+        assert by_t[0.0] is False
+        assert by_t[6.0] is True
+        assert by_t[12.0] is False
+        assert by_t[25.0] is True
+        assert by_t[31.0] is False
+        assert sched.passes == 2
+        st = sched.stats()
+        # initial drop to out-of-contact at t=0, then 2 rises + 2 sets
+        assert st["transitions"] == 5
+        assert st["contact_s"] == pytest.approx(15.0)
+
+    def test_outage_punches_hole_into_window(self):
+        sim, a, b, link = make_link()
+        plan = ContactPlan((ContactWindow(0.0, 100.0),))
+        sched = LinkScheduler(link, plan, (OutageEvent(10.0, 5.0),))
+        assert sched.effective(5.0)
+        assert not sched.effective(12.0)
+        assert sched.effective(15.0)
+        # next_contact skips over the outage hole
+        assert sched.next_contact(12.0) == 15.0
+        sim.run(until=20.0)
+        assert link.up
+
+    def test_next_contact_exhausted_plan(self):
+        sim, a, b, link = make_link()
+        sched = LinkScheduler(link, ContactPlan((ContactWindow(1.0, 2.0),)))
+        assert sched.next_contact(5.0) is None
+
+    def test_contact_callbacks_fire_on_rise(self):
+        sim, a, b, link = make_link()
+        sched = LinkScheduler(link, ContactPlan((ContactWindow(5.0, 10.0),)))
+        rises = []
+        sched.notify_contact(lambda: rises.append(sim.now))
+        sim.run(until=20.0)
+        assert rises == [5.0]
+
+    def test_hard_down_drops_traffic_both_ways(self):
+        """Frames offered or in flight during an outage are dropped."""
+        sim, a, b, link = make_link()
+        LinkScheduler(
+            link, ContactPlan(), (OutageEvent(1.0, 5.0),), name="drop"
+        )
+        got = []
+        b.frame_tap = got.append
+
+        def talker(sim):
+            a.send_frame(b"before")  # arrives at 0.25
+            yield sim.timeout(0.9)
+            a.send_frame(b"in-flight")  # sent up, arrives 1.15: dropped
+            yield sim.timeout(1.0)
+            a.send_frame(b"during")  # dropped at tx
+            yield sim.timeout(5.0)
+            a.send_frame(b"after")
+
+        sim.process(talker(sim))
+        sim.run(until=10.0)
+        assert got == [b"before", b"after"]
+        assert link.stats["outage_dropped"] == 2

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-overload test-perf test-scenarios test-dtn all
+.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-overload test-perf test-parallel test-scenarios test-dtn all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -27,6 +27,9 @@ test-overload:  ## demand-plane overload control: admission, backpressure, deadl
 
 test-perf:  ## batched burst-processing throughput baseline (prints bursts/sec tables)
 	$(PYTHON) -m pytest benchmarks/bench_perf_burst_batch.py -s
+
+test-parallel:  ## carrier-parallel uplink engine: executor equivalence suite + serial-vs-threads speedup gate
+	$(PYTHON) -m pytest -m parallel tests/ benchmarks/bench_perf_uplink_parallel.py -s
 
 test-scenarios:  ## mission-scenario conformance: golden corpus, differential oracles, seeded soak sweeps
 	$(PYTHON) -m pytest -m scenario tests/scenarios/

@@ -1,0 +1,212 @@
+"""Serial-vs-parallel benchmark of the carrier-parallel uplink engine.
+
+PR 4 batched the *decode* half of the MF-TDMA hot path into one trellis
+sweep; the demodulation half still cost one full Rx chain per carrier,
+walked serially, so uplink wall-clock grew linearly with carrier count.
+The carrier-parallel engine (:mod:`repro.parallel`, see
+docs/performance.md) fans those independent per-carrier lanes out across
+a thread pool -- the demod hot kernels (``fftconvolve``, FFTs, large
+ufunc loops) release the GIL, so threads overlap real work without
+pickling equipment state.
+
+This benchmark is the engine's regression gate: it times
+``process_uplink`` under the ``serial`` and ``threads`` backends at
+3 / 8 / 16 carriers, asserts **bit-identical** bits and diagnostics
+between the backends on every measured input, and enforces the headline
+**>= 2x speedup at 8 carriers with 4 workers** -- on hosts with >= 4
+CPU cores.  On smaller hosts (or shared CI runners, where timings are
+noise) the equivalence checks still run and the timing assertion is
+skipped, exactly like the ``REPRO_PERF_SMOKE=1`` convention of
+``bench_perf_burst_batch.py``.
+
+Run modes
+---------
+- ``make test-parallel`` / ``pytest benchmarks/bench_perf_uplink_parallel.py -s``
+  -- full measurement, prints the serial-vs-parallel table;
+- ``REPRO_PERF_SMOKE=1`` (CI) -- small bursts, one repetition, no timing
+  assertions;
+- ``REPRO_OBS=1`` -- additionally lands the engine's ``perf.uplink.*``
+  series (per-carrier latency, worker occupancy, speedup estimate) and
+  this benchmark's ``perf.bench.*`` gauges in ``BENCH_METRICS.json``;
+- ``REPRO_BENCH_JSON=1`` -- captures the printed tables into
+  ``BENCH_perf_uplink_parallel.json``.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.payload import PayloadConfig, RegenerativePayload
+from repro.core.registry import default_registry
+from repro.dsp.tdma import BurstFormat
+from repro.obs.probes import probe
+from repro.parallel import CarrierExecutor
+from repro.sim import RngRegistry
+
+from conftest import print_table
+
+pytestmark = [pytest.mark.perf, pytest.mark.parallel]
+
+#: CI smoke mode: tiny sizes, no timing assertions.
+SMOKE = os.environ.get("REPRO_PERF_SMOKE", "") in ("1", "true", "yes")
+
+#: the speedup gate needs a host that can actually field the workers
+HEADLINE_WORKERS = 4
+MULTICORE = (os.cpu_count() or 1) >= HEADLINE_WORKERS
+
+#: long feedforward bursts (Oerder&Meyr timing): per-lane work is real
+#: DSP, not Python glue, which is what the thread fan-out overlaps
+BURST = BurstFormat(preamble=32, uw=20, payload=512)
+SMOKE_BURST = BurstFormat(preamble=16, uw=16, payload=96)
+
+
+def _build_payload(carriers: int, executor=None) -> RegenerativePayload:
+    registry = default_registry(tdma_burst=SMOKE_BURST if SMOKE else BURST)
+    payload = RegenerativePayload(
+        PayloadConfig(num_carriers=carriers, channelizer_taps=8),
+        registry=registry,
+        executor=executor,
+    )
+    payload.boot()
+    return payload
+
+
+def _uplink(payload: RegenerativePayload, seed: int) -> np.ndarray:
+    rng = RngRegistry(seed).stream("uplink-parallel")
+    modem = payload.demods[0].behaviour()
+    bits = [
+        rng.integers(0, 2, modem.bits_per_burst).astype(np.uint8)
+        for _ in range(payload.config.num_carriers)
+    ]
+    wide = payload.build_uplink(bits)
+    noise = 0.02 * (
+        rng.standard_normal(len(wide)) + 1j * rng.standard_normal(len(wide))
+    )
+    return wide + noise
+
+
+def _time_per_call(fn, reps: int) -> float:
+    fn()  # warm caches out of the measurement
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - t0) / reps
+
+
+def _assert_equivalent(a: dict, b: dict) -> None:
+    """Bit-identity of a serial and a parallel process_uplink result."""
+    assert len(a["bits"]) == len(b["bits"])
+    for x, y in zip(a["bits"], b["bits"]):
+        assert np.array_equal(x, y), "parallel bits differ from serial"
+    for da, db in zip(a["diagnostics"], b["diagnostics"]):
+        assert da.keys() == db.keys(), "diagnostic keys differ"
+        for key in da:
+            va, vb = da[key], db[key]
+            if isinstance(va, np.ndarray):
+                assert np.array_equal(va, vb), f"diagnostic {key!r} differs"
+            else:
+                assert va == vb, f"diagnostic {key!r} differs"
+
+
+def _gauge(name: str, carriers: int, value: float) -> None:
+    p = probe("perf.bench", bench="uplink_parallel", carriers=str(carriers))
+    if p is not None:
+        p.gauge(name, value)
+
+
+def test_uplink_carrier_parallel_speedup():
+    """Serial-vs-threads table at 3/8/16 carriers; >= 2x gate at 8."""
+    carrier_counts = (3,) if SMOKE else (3, 8, 16)
+    reps = 1 if SMOKE else 5
+    rows = []
+    headline = None
+    for nc in carrier_counts:
+        serial = _build_payload(nc, CarrierExecutor("serial"))
+        threads = _build_payload(
+            nc, CarrierExecutor("threads", workers=HEADLINE_WORKERS)
+        )
+        wide = _uplink(serial, seed=nc)
+
+        out_s = serial.process_uplink(wide)
+        out_p = threads.process_uplink(wide)
+        _assert_equivalent(out_s, out_p)
+
+        t_serial = _time_per_call(lambda: serial.process_uplink(wide), reps)
+        t_thread = _time_per_call(lambda: threads.process_uplink(wide), reps)
+        ratio = t_serial / t_thread
+        rows.append(
+            [
+                nc,
+                HEADLINE_WORKERS,
+                f"{t_serial * 1e3:.1f}",
+                f"{t_thread * 1e3:.1f}",
+                f"{nc / t_serial:.0f}",
+                f"{nc / t_thread:.0f}",
+                f"{ratio:.2f}x",
+            ]
+        )
+        _gauge("uplink_bursts_per_sec_serial", nc, nc / t_serial)
+        _gauge("uplink_bursts_per_sec_parallel", nc, nc / t_thread)
+        _gauge("uplink_speedup", nc, ratio)
+        if nc == 8:
+            headline = ratio
+        threads.executor.close()
+    print_table(
+        f"carrier-parallel uplink, serial vs threads({HEADLINE_WORKERS}) "
+        f"[{os.cpu_count()} cpu]",
+        ["carriers", "workers", "serial [ms]", "threads [ms]",
+         "serial bursts/s", "threads bursts/s", "speedup"],
+        rows,
+    )
+    if SMOKE:
+        return
+    if not MULTICORE:
+        pytest.skip(
+            f"speedup gate needs >= {HEADLINE_WORKERS} cores "
+            f"(host has {os.cpu_count()}); equivalence checks passed"
+        )
+    assert headline is not None and headline >= 2.0, (
+        f"carrier-parallel speedup {headline:.2f}x at 8 carriers below the "
+        "2x floor"
+    )
+
+
+def test_uplink_parallel_scaling_with_workers():
+    """Worker sweep at 8 carriers: more workers never changes the bits."""
+    nc = 3 if SMOKE else 8
+    serial = _build_payload(nc, CarrierExecutor("serial"))
+    wide = _uplink(serial, seed=17)
+    reference = serial.process_uplink(wide)
+    rows = []
+    reps = 1 if SMOKE else 3
+    for workers in (1, 2, 4):
+        payload = _build_payload(nc, CarrierExecutor("threads", workers))
+        out = payload.process_uplink(wide)
+        _assert_equivalent(reference, out)
+        t = _time_per_call(lambda: payload.process_uplink(wide), reps)
+        occ = payload.executor.occupancy
+        rows.append([workers, f"{t * 1e3:.1f}", f"{nc / t:.0f}", f"{occ:.2f}"])
+        payload.executor.close()
+    print_table(
+        f"thread-pool worker sweep, {nc} carriers",
+        ["workers", "wall [ms]", "bursts/s", "occupancy"],
+        rows,
+    )
+
+
+def test_executor_stats_accounting():
+    """The engine's local stats cover every lane it ran."""
+    nc = 3
+    ex = CarrierExecutor("threads", workers=2)
+    payload = _build_payload(nc, ex)
+    wide = _uplink(payload, seed=3)
+    payload.process_uplink(wide)
+    payload.process_uplink(wide)
+    assert ex.stats["batches"] == 2
+    assert ex.stats["lanes"] == 2 * nc
+    assert ex.stats["lane_errors"] == 0
+    assert ex.stats["busy_seconds"] > 0.0
+    assert 0.0 <= ex.occupancy <= 1.0
+    ex.close()

@@ -24,6 +24,7 @@ from ..dsp.beamforming import Dbfn
 from ..dsp.demux import PolyphaseChannelizer, multiplex_carriers
 from ..fpga.device import Fpga
 from ..obs.probes import probe
+from ..parallel import CarrierExecutor
 from .equipment import ReconfigurableEquipment
 from .obc import OnBoardController, Telecommand, Telemetry
 from .registry import FunctionRegistry, default_registry
@@ -124,6 +125,7 @@ class RegenerativePayload:
         config: Optional[PayloadConfig] = None,
         registry: Optional[FunctionRegistry] = None,
         obc: Optional[OnBoardController] = None,
+        executor: Optional[CarrierExecutor] = None,
     ) -> None:
         self.config = config or PayloadConfig()
         self.registry = registry or default_registry()
@@ -179,6 +181,20 @@ class RegenerativePayload:
         #: optional per-carrier MF-TDMA burst request queues (CoDel);
         #: ``None`` until :meth:`attach_burst_queues`
         self.burst_queues = None
+        #: optional carrier-parallel execution engine for the uplink
+        #: demod fan-out; ``None`` runs the reference inline loop
+        self.executor = executor
+
+    def attach_executor(self, executor: Optional[CarrierExecutor]) -> None:
+        """Attach (or with ``None`` detach) a carrier-parallel executor.
+
+        Every subsequent :meth:`process_uplink` fans the per-carrier
+        demodulation lanes out through ``executor.run`` instead of the
+        inline serial loop.  Results are bit-identical by contract (the
+        lanes are independent and joined in carrier order); see
+        :mod:`repro.parallel`.
+        """
+        self.executor = executor
 
     def attach_health(self, bank) -> None:
         """Attach a per-carrier health monitor bank to the live chain.
@@ -320,6 +336,12 @@ class RegenerativePayload:
         (``decoded[k] is None``) so the FDIR health bank only sees CRC
         outcomes for blocks that were really decoded.
 
+        With an attached :class:`~repro.parallel.CarrierExecutor`
+        (:meth:`attach_executor`), the per-carrier demodulation lanes
+        fan out across the executor's workers and join in carrier
+        order; bits, diagnostics and fault containment are identical to
+        the inline loop by construction.
+
         Returns per-carrier demodulated bits plus chain diagnostics
         (and ``decoded`` when requested).
         """
@@ -334,36 +356,24 @@ class RegenerativePayload:
             channels = self.channelizer.process(x[:usable])
         else:
             channels = x[None, :]
-        from ..dsp.tdma import BurstSyncError
-        from .equipment import EquipmentError
-
-        out_bits: List[np.ndarray] = []
-        diags: List[dict] = []
-        for k, eq in enumerate(self.demods):
-            want = bits_expected[k] if bits_expected else None
-            try:
-                modem = eq.behaviour()
-                if hasattr(modem, "bits_per_burst"):  # TDMA
-                    res = modem.receive(channels[k], num_bits=want)
-                else:  # CDMA
-                    res = modem.receive(channels[k], want or 128)
-            except BurstSyncError as exc:
-                # a carrier that failed burst sync delivers nothing; the
-                # payload reports it instead of aborting the other carriers
-                n = want or getattr(modem, "bits_per_burst", 128)
-                out_bits.append(np.zeros(n, dtype=np.uint8))
-                diags.append({"sync_failed": str(exc)})
-                continue
-            except EquipmentError as exc:
-                # fault containment: a dead demodulator (latch-up, SEU)
-                # silences its own carrier only -- the FDIR isolation
-                # ladder picks the diagnostic up from here
-                n = want or 128
-                out_bits.append(np.zeros(n, dtype=np.uint8))
-                diags.append({"equipment_failed": str(exc)})
-                continue
-            out_bits.append(res["bits"])
-            diags.append({key: res[key] for key in res if key != "bits"})
+        lanes = [
+            (
+                lambda k=k, want=(bits_expected[k] if bits_expected else None):
+                self._demod_carrier(k, channels[k], want)
+            )
+            for k in range(len(self.demods))
+        ]
+        if self.executor is None:
+            results = [fn() for fn in lanes]
+        else:
+            # ordered join: outcome i is carrier i regardless of which
+            # worker finished first; a lane's unexpected exception (the
+            # contained sync/equipment faults never escape the lane
+            # function) re-raises lowest-carrier-first, exactly as the
+            # inline loop would
+            results = [o.result() for o in self.executor.run(lanes)]
+        out_bits: List[np.ndarray] = [bits for bits, _ in results]
+        diags: List[dict] = [diag for _, diag in results]
         if self.health is not None:
             for k, diag in enumerate(diags):
                 self.health.observe_burst(k, diag)
@@ -371,6 +381,40 @@ class RegenerativePayload:
         if decode:
             result["decoded"] = self._decode_uplink_blocks(diags)
         return result
+
+    def _demod_carrier(self, k: int, channel: np.ndarray, want: Optional[int]):
+        """One carrier's demodulation lane: ``(bits, diagnostics)``.
+
+        The executor's unit of work.  Burst-sync and equipment faults
+        are contained *inside* the lane (silence plus a diagnostic for
+        the FDIR detection path), so one carrier's failure can never
+        abort or reorder another lane; anything else that raises is a
+        genuine bug and propagates.  Lanes touch only their own
+        equipment and emit no trace events, keeping results and trace
+        hashes bit-identical across backends and worker counts.
+        """
+        from ..dsp.tdma import BurstSyncError
+        from .equipment import EquipmentError
+
+        eq = self.demods[k]
+        try:
+            modem = eq.behaviour()
+            if hasattr(modem, "bits_per_burst"):  # TDMA
+                res = modem.receive(channel, num_bits=want)
+            else:  # CDMA
+                res = modem.receive(channel, want or 128)
+        except BurstSyncError as exc:
+            # a carrier that failed burst sync delivers nothing; the
+            # payload reports it instead of aborting the other carriers
+            n = want or getattr(modem, "bits_per_burst", 128)
+            return np.zeros(n, dtype=np.uint8), {"sync_failed": str(exc)}
+        except EquipmentError as exc:
+            # fault containment: a dead demodulator (latch-up, SEU)
+            # silences its own carrier only -- the FDIR isolation
+            # ladder picks the diagnostic up from here
+            n = want or 128
+            return np.zeros(n, dtype=np.uint8), {"equipment_failed": str(exc)}
+        return res["bits"], {key: res[key] for key in res if key != "bits"}
 
     def _decode_uplink_blocks(self, diags: List[dict]) -> List[Optional[dict]]:
         """Batched regeneration of all carriers' transport blocks.

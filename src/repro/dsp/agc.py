@@ -13,7 +13,11 @@ preamble's job).  Two flavours:
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
+
+from .timing import HISTORY_MAXLEN
 
 __all__ = ["Agc", "burst_gain"]
 
@@ -56,7 +60,10 @@ class Agc:
         self.max_gain = max_gain
         self.gain = 1.0
         self._level = target_rms  # detector state
-        self.gain_history: list[float] = []
+        # bounded ring buffer: the continuous front end runs this loop
+        # forever, and an unbounded list leaks one float per 32-sample
+        # chunk (same leak class as the timing/DLL loop histories)
+        self.gain_history: deque[float] = deque(maxlen=HISTORY_MAXLEN)
 
     def process(self, x: np.ndarray) -> np.ndarray:
         """Apply the AGC to one block (stateful across blocks).

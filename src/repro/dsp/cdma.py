@@ -341,14 +341,21 @@ class RakeReceiver:
     def find_fingers(self, acq: AcquisitionResult) -> list[int]:
         """Pick finger code phases from the acquisition statistic."""
         stat = acq.statistics
+        sf = len(stat)
         order = np.argsort(stat)[::-1]
         peak = stat[order[0]]
         fingers = []
         for idx in order:
             if stat[idx] < self.finger_threshold * peak:
                 break
-            # skip phases adjacent (within 1 chip) to an accepted finger
-            if any(abs(int(idx) - f) <= 1 for f in fingers):
+            # skip phases adjacent (within 1 chip) to an accepted finger;
+            # code phases are cyclic, so phase 0 and phase sf-1 are
+            # neighbours too -- linear distance would double-count one
+            # multipath arrival straddling the wrap in the MRC combiner
+            if any(
+                min(abs(int(idx) - f), sf - abs(int(idx) - f)) <= 1
+                for f in fingers
+            ):
                 continue
             fingers.append(int(idx))
             if len(fingers) == self.max_fingers:

@@ -1,0 +1,10 @@
+"""Carrier-parallel execution for the regenerative payload's hot paths.
+
+See :mod:`repro.parallel.executor` for the engine and
+``docs/performance.md`` ("The carrier-parallel uplink engine") for the
+backend-selection and determinism guarantees.
+"""
+
+from .executor import BACKENDS, CarrierExecutor, LaneOutcome, resolve_workers
+
+__all__ = ["BACKENDS", "CarrierExecutor", "LaneOutcome", "resolve_workers"]

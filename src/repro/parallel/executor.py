@@ -1,0 +1,234 @@
+"""Carrier-parallel execution engine for the uplink hot path.
+
+The Fig. 2 receive chain is a bank of *independent* per-carrier
+processing lanes -- after the channelizer splits the wideband input,
+nothing one carrier's demodulator computes feeds another's.  Both
+scalable-payload architectures in the related work (arXiv:2407.06075,
+arXiv:2509.07548) exploit exactly this shape: fan the lanes out across
+workers and join in carrier order.  :class:`CarrierExecutor` is that
+fan-out as a small, pluggable primitive:
+
+- ``serial`` backend -- runs lanes inline, in carrier order.  The
+  reference behaviour and the zero-dependency default.
+- ``threads`` backend -- a :class:`~concurrent.futures.ThreadPoolExecutor`
+  fan-out.  The demod hot kernels (``fftconvolve``, FFTs, large ufunc
+  loops) release the GIL, so threads overlap real work without any
+  pickling of equipment state; on a single-core host the pool degrades
+  gracefully to roughly serial speed.
+
+Determinism contract (enforced by ``tests/parallel``): for the same
+inputs, every backend at every worker count returns **bit-identical**
+lane results in submission order, and a lane that raises captures the
+exception in its own :class:`LaneOutcome` -- one carrier's
+``BurstSyncError`` or ``EquipmentError`` never perturbs, reorders or
+aborts another lane.  Workers must not emit trace events (lane timing
+goes to *metrics* series only), so observability trace hashes are
+identical across backends too.
+
+Observability: each :meth:`CarrierExecutor.run` publishes ``perf.uplink``
+series -- per-lane latency histogram, lanes/batches counters, worker
+occupancy and the estimated speedup (busy seconds over wall seconds) --
+through :func:`repro.obs.probes.probe`, plus a cumulative local
+:attr:`~CarrierExecutor.stats` dict for benchmarks running without an
+observability session.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..obs.probes import probe as _obs_probe
+
+__all__ = ["BACKENDS", "CarrierExecutor", "LaneOutcome", "resolve_workers"]
+
+#: supported execution backends
+BACKENDS = ("serial", "threads")
+
+#: default worker cap: enough to cover the paper's 6-carrier multiplex
+#: without oversubscribing small hosts
+DEFAULT_MAX_WORKERS = 8
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count for a pool (``None`` = auto).
+
+    Auto sizing takes the host CPU count capped at
+    :data:`DEFAULT_MAX_WORKERS`; explicit values must be >= 1.
+    """
+    if workers is None:
+        return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS))
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return int(workers)
+
+
+@dataclass
+class LaneOutcome:
+    """What one lane (carrier) produced: a value *or* a captured error.
+
+    ``seconds`` is the lane's own busy time (not including queueing
+    behind a worker), feeding the ``perf.uplink.carrier_seconds``
+    latency histogram and the occupancy estimate.
+    """
+
+    index: int
+    value: Any = None
+    error: Optional[BaseException] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def result(self) -> Any:
+        """The lane value, re-raising the lane's captured exception."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class CarrierExecutor:
+    """Fan per-carrier lane functions out across a pluggable backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` or ``"threads"`` (:data:`BACKENDS`).
+    workers:
+        Pool width for the ``threads`` backend (``None`` = auto-size
+        from the host CPU count).  The serial backend always reports
+        one worker.
+    name:
+        Label threaded onto the ``perf.uplink`` metric series, so two
+        executors in one process keep separate counters.
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        workers: Optional[int] = None,
+        name: str = "uplink",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {backend!r}; pick one of {BACKENDS}"
+            )
+        self.backend = backend
+        self.workers = 1 if backend == "serial" else resolve_workers(workers)
+        self.name = name
+        self._pool: Optional[ThreadPoolExecutor] = None
+        #: cumulative accounting across every :meth:`run` (JSON-able)
+        self.stats = {
+            "batches": 0,
+            "lanes": 0,
+            "lane_errors": 0,
+            "busy_seconds": 0.0,
+            "wall_seconds": 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CarrierExecutor(backend={self.backend!r}, "
+            f"workers={self.workers})"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; serial is a no-op)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CarrierExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix=f"carrier-{self.name}",
+            )
+        return self._pool
+
+    # -- execution ---------------------------------------------------------
+    @staticmethod
+    def _run_lane(index: int, fn: Callable[[], Any]) -> LaneOutcome:
+        t0 = time.perf_counter()
+        try:
+            value = fn()
+        except BaseException as exc:  # fault containment: stays in-lane
+            return LaneOutcome(
+                index=index, error=exc, seconds=time.perf_counter() - t0
+            )
+        return LaneOutcome(
+            index=index, value=value, seconds=time.perf_counter() - t0
+        )
+
+    def run(self, lanes: Sequence[Callable[[], Any]]) -> List[LaneOutcome]:
+        """Execute every zero-arg lane function; join in submission order.
+
+        Always returns ``len(lanes)`` outcomes, ``outcomes[i]`` for
+        ``lanes[i]``.  A lane that raises yields an outcome carrying the
+        exception instead of propagating it -- the caller decides, per
+        lane, whether that error is contained (sync loss, dead
+        equipment) or fatal.
+        """
+        t0 = time.perf_counter()
+        if self.backend == "serial" or len(lanes) <= 1:
+            outcomes = [self._run_lane(i, fn) for i, fn in enumerate(lanes)]
+        else:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(self._run_lane, i, fn)
+                for i, fn in enumerate(lanes)
+            ]
+            # join strictly in submission order: carrier k is always
+            # outcome k no matter which worker finished first
+            outcomes = [f.result() for f in futures]
+        wall = time.perf_counter() - t0
+        self._account(outcomes, wall)
+        return outcomes
+
+    def map(
+        self, fn: Callable[..., Any], items: Sequence[Any]
+    ) -> List[LaneOutcome]:
+        """:meth:`run` over ``fn(item)`` lanes (convenience)."""
+        return self.run([lambda item=item: fn(item) for item in items])
+
+    # -- accounting --------------------------------------------------------
+    def _account(self, outcomes: List[LaneOutcome], wall: float) -> None:
+        busy = sum(o.seconds for o in outcomes)
+        errors = sum(1 for o in outcomes if not o.ok)
+        s = self.stats
+        s["batches"] += 1
+        s["lanes"] += len(outcomes)
+        s["lane_errors"] += errors
+        s["busy_seconds"] += busy
+        s["wall_seconds"] += wall
+        # Metrics only -- never trace events: lane timings are wall-clock
+        # noise and must not perturb deterministic trace hashes.
+        p = _obs_probe("perf.uplink", backend=self.backend, name=self.name)
+        if p is not None:
+            p.count("batches")
+            p.count("carriers", len(outcomes))
+            if errors:
+                p.count("lane_errors", errors)
+            p.gauge("workers", float(self.workers))
+            for o in outcomes:
+                p.observe("carrier_seconds", o.seconds)
+            if wall > 0.0 and outcomes:
+                p.gauge("occupancy", busy / (wall * self.workers))
+                p.gauge("speedup_est", busy / wall)
+
+    @property
+    def occupancy(self) -> float:
+        """Cumulative busy share of the pool (0..1) across all runs."""
+        denom = self.stats["wall_seconds"] * self.workers
+        return self.stats["busy_seconds"] / denom if denom > 0.0 else 0.0

@@ -38,6 +38,7 @@ from .oracles import (
 from .runner import ScenarioResult, ScenarioRunner, result_violations, run_scenario
 from .spec import (
     ContactSchedule,
+    ExecutorSpec,
     FadeSegment,
     FaultEvent,
     GroundLink,
@@ -52,6 +53,7 @@ from .spec import (
 __all__ = [
     "BatchScalarDecodeOracle",
     "ContactSchedule",
+    "ExecutorSpec",
     "FadeSegment",
     "FaultEvent",
     "GoldenRecord",

@@ -71,6 +71,28 @@ class TestAgc:
         with pytest.raises(ValueError):
             Agc(min_gain=1.0, max_gain=0.5)
 
+    def test_gain_history_bounded_on_long_runs(self):
+        """Regression: the gain history must not grow without bound.
+
+        The continuous front end runs the AGC forever; the history used
+        to be a plain list appending one float per 32-sample chunk, a
+        slow per-carrier memory leak.  It is now a ring buffer capped at
+        ``HISTORY_MAXLEN`` entries (same fix as the timing loops).
+        """
+        from repro.dsp.timing import HISTORY_MAXLEN
+
+        agc = Agc(mu=0.1)
+        x = 0.5 * np.ones(4096, dtype=complex)
+        chunks_needed = HISTORY_MAXLEN * 32  # one entry per 32 samples
+        processed = 0
+        while processed <= chunks_needed:
+            agc.process(x)
+            processed += len(x)
+        assert len(agc.gain_history) == HISTORY_MAXLEN
+        assert agc.gain_history.maxlen == HISTORY_MAXLEN
+        # the retained tail is the newest gains (converged, not startup)
+        assert abs(agc.gain_history[-1] - 2.0) < 0.1
+
 
 def _multipath_burst(seed, echo_gain=0.6, echo_chips=3, sigma=0.08, sf=64, nbits=256):
     reg = RngRegistry(seed)
@@ -135,3 +157,38 @@ class TestRake:
         rake = RakeReceiver(np.ones(8))
         with pytest.raises(ValueError):
             rake.combine(np.ones((2, 4), dtype=complex), np.ones(8, dtype=complex))
+
+    def test_finger_adjacency_wraps_around_code_period(self):
+        """Regression: code phases are cyclic, so a correlation sidelobe
+        at phase 0 sits one chip from a path at phase ``sf - 1`` and
+        must be rejected -- the old linear ``abs(idx - f)`` distance saw
+        them ``sf - 1`` apart and double-counted the arrival in the MRC
+        combiner."""
+        from repro.dsp.cdma import AcquisitionResult
+
+        sf = 8
+        stat = np.zeros(sf)
+        stat[7] = 1.0  # true path straddling the wrap
+        stat[0] = 0.6  # its sidelobe, one chip away *cyclically*
+        stat[4] = 0.5  # a genuine second path, far from both
+        stat[6] = 0.4  # linear-adjacent sidelobe (already handled)
+        acq = AcquisitionResult(
+            phase=7, metric=1.0, mean_level=0.1, detected=True, statistics=stat
+        )
+        rake = RakeReceiver(np.ones(sf), finger_threshold=0.2)
+        assert rake.find_fingers(acq) == [7, 4]
+
+    def test_distant_phases_survive_cyclic_distance(self):
+        """The modular distance never rejects genuinely separate paths."""
+        from repro.dsp.cdma import AcquisitionResult
+
+        sf = 64
+        stat = np.zeros(sf)
+        stat[0] = 1.0
+        stat[3] = 0.7
+        stat[63] = 0.6  # cyclically adjacent to phase 0 -> rejected
+        acq = AcquisitionResult(
+            phase=0, metric=1.0, mean_level=0.05, detected=True, statistics=stat
+        )
+        rake = RakeReceiver(np.ones(sf), finger_threshold=0.2)
+        assert rake.find_fingers(acq) == [0, 3]

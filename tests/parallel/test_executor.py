@@ -1,0 +1,150 @@
+"""Unit tests of the carrier-parallel execution engine itself.
+
+The payload-level equivalence suite lives in
+``test_executor_equivalence.py``; this module pins the engine's own
+contract -- backend validation, ordered joins, per-lane fault
+containment, cumulative stats and the ``perf.uplink.*`` metric series.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.parallel import BACKENDS, CarrierExecutor, LaneOutcome, resolve_workers
+
+pytestmark = pytest.mark.parallel
+
+
+class TestConstruction:
+    def test_backends_catalogue(self):
+        assert BACKENDS == ("serial", "threads")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            CarrierExecutor("processes")
+
+    def test_serial_reports_one_worker(self):
+        assert CarrierExecutor("serial", workers=7).workers == 1
+
+    def test_threads_workers_resolved(self):
+        assert CarrierExecutor("threads", workers=3).workers == 3
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            CarrierExecutor("threads", workers=0)
+
+    def test_auto_workers_at_least_one(self):
+        assert resolve_workers(None) >= 1
+
+    def test_context_manager_closes_pool(self):
+        with CarrierExecutor("threads", workers=2) as ex:
+            ex.run([lambda: 1, lambda: 2])
+            assert ex._pool is not None
+        assert ex._pool is None
+        ex.close()  # idempotent
+
+
+class TestOrderedJoin:
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", None), ("threads", 1), ("threads", 2), ("threads", 4),
+    ])
+    def test_results_in_submission_order(self, backend, workers):
+        ex = CarrierExecutor(backend, workers)
+        # later lanes finish first under a pool; the join must not care
+        lanes = [
+            (lambda k=k: (time.sleep(0.002 * (4 - k)), k)[1])
+            for k in range(4)
+        ]
+        outcomes = ex.run(lanes)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+        assert [o.result() for o in outcomes] == [0, 1, 2, 3]
+        ex.close()
+
+    def test_empty_lane_list(self):
+        assert CarrierExecutor("threads", 2).run([]) == []
+
+    def test_map_convenience(self):
+        ex = CarrierExecutor("serial")
+        outcomes = ex.map(lambda x: x * x, [1, 2, 3])
+        assert [o.result() for o in outcomes] == [1, 4, 9]
+
+    def test_threads_actually_fan_out(self):
+        """With >1 workers, lanes run on more than one thread."""
+        ex = CarrierExecutor("threads", workers=4)
+        seen = set()
+        barrier = threading.Barrier(2, timeout=5.0)
+
+        def lane():
+            seen.add(threading.get_ident())
+            barrier.wait()  # forces two lanes to overlap in time
+            return True
+
+        outcomes = ex.run([lane, lane])
+        assert all(o.ok for o in outcomes)
+        assert len(seen) == 2
+        ex.close()
+
+
+class TestFaultContainment:
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", None), ("threads", 2),
+    ])
+    def test_one_lane_error_stays_in_lane(self, backend, workers):
+        ex = CarrierExecutor(backend, workers)
+        lanes = [
+            lambda: "a",
+            lambda: (_ for _ in ()).throw(RuntimeError("lane 1 died")),
+            lambda: "c",
+        ]
+        outcomes = ex.run(lanes)
+        assert outcomes[0].result() == "a"
+        assert outcomes[2].result() == "c"
+        assert not outcomes[1].ok
+        with pytest.raises(RuntimeError, match="lane 1 died"):
+            outcomes[1].result()
+        assert ex.stats["lane_errors"] == 1
+        ex.close()
+
+    def test_outcome_dataclass(self):
+        ok = LaneOutcome(index=0, value=42)
+        assert ok.ok and ok.result() == 42
+        bad = LaneOutcome(index=1, error=ValueError("x"))
+        assert not bad.ok
+
+
+class TestStatsAndObs:
+    def test_cumulative_stats(self):
+        ex = CarrierExecutor("serial")
+        ex.run([lambda: 1, lambda: 2])
+        ex.run([lambda: 3])
+        assert ex.stats["batches"] == 2
+        assert ex.stats["lanes"] == 3
+        assert ex.stats["wall_seconds"] > 0.0
+        assert ex.stats["busy_seconds"] > 0.0
+        assert 0.0 <= ex.occupancy <= 1.0
+
+    def test_perf_uplink_series_published(self):
+        with obs.session() as (reg, tracer):
+            ex = CarrierExecutor("threads", workers=2, name="test")
+            ex.run([lambda: 1, lambda: 2, lambda: 3])
+            ex.close()
+            export = reg.export()
+            for series in (
+                "perf.uplink.batches",
+                "perf.uplink.carriers",
+                "perf.uplink.carrier_seconds",
+                "perf.uplink.workers",
+                "perf.uplink.occupancy",
+                "perf.uplink.speedup_est",
+            ):
+                assert series in export, f"missing {series}"
+            # workers must never emit trace events: lane timing is
+            # wall-clock noise and would break trace-hash determinism
+            assert tracer.total == 0
+
+    def test_no_series_while_disabled(self):
+        ex = CarrierExecutor("serial")
+        ex.run([lambda: 1])  # must not blow up without a session
+        assert ex.stats["batches"] == 1

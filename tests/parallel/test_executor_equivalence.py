@@ -1,0 +1,263 @@
+"""Equivalence suite: the carrier-parallel engine must be invisible.
+
+The determinism contract of :mod:`repro.parallel` is that attaching an
+executor to :class:`~repro.core.payload.RegenerativePayload` is a pure
+wall-clock knob: same-seed ``process_uplink`` runs deliver bit-identical
+bits, diagnostics and decoded blocks across the ``serial`` and
+``threads`` backends at every worker count, fault containment keeps a
+sync-lost or dead-equipment carrier inside its own lane, FDIR health
+monitors see identical delivery streams, and scenario trace hashes do
+not move.  This suite pins each of those claims.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.payload import PayloadConfig, RegenerativePayload
+from repro.core.registry import default_registry
+from repro.dsp.tdma import BurstFormat, BurstSyncError
+from repro.parallel import CarrierExecutor
+from repro.robustness.fdir import HealthMonitorBank
+from repro.robustness.fdir.chaos import build_traffic_world
+from repro.scenarios import ExecutorSpec, ScenarioError, ScenarioSpec, run_scenario
+from repro.sim import RngRegistry
+
+pytestmark = pytest.mark.parallel
+
+BURST = BurstFormat(preamble=16, uw=16, payload=96)
+CARRIERS = 4
+
+#: every backend/worker combination the contract covers
+VARIANTS = [
+    ("serial", None),
+    ("threads", 1),
+    ("threads", 2),
+    ("threads", 4),
+]
+
+
+def _build(executor=None) -> RegenerativePayload:
+    registry = default_registry(tdma_burst=BURST, transport_block=40)
+    payload = RegenerativePayload(
+        PayloadConfig(num_carriers=CARRIERS, channelizer_taps=8),
+        registry=registry,
+        executor=executor,
+    )
+    payload.boot()
+    return payload
+
+
+def _uplink(payload: RegenerativePayload, seed: int = 7) -> np.ndarray:
+    """A clean 4-carrier frame carrying real encoded transport blocks,
+    so ``decode=True`` regenerates every carrier with ``crc_ok``."""
+    rng = RngRegistry(seed).stream("equivalence")
+    chain = payload.decoder.behaviour()
+    modem = payload.demods[0].behaviour()
+    bits = []
+    for _ in range(CARRIERS):
+        block = rng.integers(0, 2, chain.transport_block).astype(np.uint8)
+        coded = chain.encode(block)[: modem.bits_per_burst]
+        bits.append(coded)
+    wide = payload.build_uplink(bits)
+    noise = 0.02 * (
+        rng.standard_normal(len(wide)) + 1j * rng.standard_normal(len(wide))
+    )
+    return wide + noise
+
+
+def _assert_same_result(ref: dict, out: dict) -> None:
+    """Bit-identity of two process_uplink results (incl. decoded)."""
+    assert len(ref["bits"]) == len(out["bits"])
+    for a, b in zip(ref["bits"], out["bits"]):
+        assert np.array_equal(a, b)
+    assert len(ref["diagnostics"]) == len(out["diagnostics"])
+    for da, db in zip(ref["diagnostics"], out["diagnostics"]):
+        assert da.keys() == db.keys()
+        for key in da:
+            va, vb = da[key], db[key]
+            if isinstance(va, np.ndarray):
+                assert np.array_equal(va, vb), f"diagnostic {key!r} differs"
+            else:
+                assert va == vb, f"diagnostic {key!r} differs"
+    if "decoded" in ref or "decoded" in out:
+        assert len(ref["decoded"]) == len(out["decoded"])
+        for a, b in zip(ref["decoded"], out["decoded"]):
+            if a is None or b is None:
+                assert a is None and b is None
+            else:
+                assert np.array_equal(a["bits"], b["bits"])
+                assert a["crc_ok"] == b["crc_ok"]
+
+
+class TestProcessUplinkEquivalence:
+    def test_backends_and_worker_counts_match_inline_reference(self):
+        """Same seed, same bits/diagnostics/decoded on every variant."""
+        reference = _build(executor=None)
+        wide = _uplink(reference)
+        ref = reference.process_uplink(wide, decode=True)
+        # sanity: the clean frame really decodes on every carrier
+        assert all(d is not None and d["crc_ok"] for d in ref["decoded"])
+        for backend, workers in VARIANTS:
+            payload = _build(CarrierExecutor(backend, workers))
+            out = payload.process_uplink(wide, decode=True)
+            _assert_same_result(ref, out)
+            payload.executor.close()
+
+    def test_repeated_runs_on_one_pool_stay_identical(self):
+        """Pool reuse across frames never leaks state between batches."""
+        reference = _build(executor=None)
+        payload = _build(CarrierExecutor("threads", 2))
+        for seed in (1, 2, 3):
+            wide = _uplink(reference, seed=seed)
+            _assert_same_result(
+                reference.process_uplink(wide, decode=True),
+                payload.process_uplink(wide, decode=True),
+            )
+        assert payload.executor.stats["batches"] == 3
+        payload.executor.close()
+
+
+class TestMixedFaultFrame:
+    """One dead demod + one sync-lost carrier, healthy neighbours."""
+
+    DEAD, LOST = 1, 2
+
+    def _arm_faults(self, payload: RegenerativePayload) -> None:
+        # dead equipment: powered off with no design -> EquipmentError
+        payload.demods[self.DEAD].unload()
+        # sync loss: the cached personality instance loses the burst
+        modem = payload.demods[self.LOST].behaviour()
+
+        def no_sync(*args, **kwargs):
+            raise BurstSyncError("unique word not found")
+
+        modem.receive = no_sync
+
+    def _run(self, executor):
+        reference = _build(executor=None)
+        wide = _uplink(reference)  # built while all carriers still work
+        self._arm_faults(reference)
+        ref = reference.process_uplink(wide, decode=True)
+        payload = _build(executor)
+        self._arm_faults(payload)
+        out = payload.process_uplink(wide, decode=True)
+        return ref, out, payload
+
+    @pytest.mark.parametrize("backend,workers", VARIANTS)
+    def test_faults_stay_in_lane_on_every_variant(self, backend, workers):
+        ref, out, payload = self._run(CarrierExecutor(backend, workers))
+        _assert_same_result(ref, out)
+        for result in (ref, out):
+            diags, decoded = result["diagnostics"], result["decoded"]
+            assert "equipment_failed" in diags[self.DEAD]
+            assert "sync_failed" in diags[self.LOST]
+            assert not np.any(result["bits"][self.DEAD])
+            assert not np.any(result["bits"][self.LOST])
+            assert decoded[self.DEAD] is None and decoded[self.LOST] is None
+            # the faults never spilled into the healthy lanes
+            for k in range(CARRIERS):
+                if k in (self.DEAD, self.LOST):
+                    continue
+                assert "sync_failed" not in diags[k]
+                assert "equipment_failed" not in diags[k]
+                assert decoded[k] is not None and decoded[k]["crc_ok"]
+        payload.executor.close()
+
+
+class TestFdirDeliveryEquivalence:
+    def _monitor_state(self, bank: HealthMonitorBank) -> list:
+        return [
+            {
+                "bursts": m.bursts,
+                "unhealthy": m.unhealthy_bursts,
+                "tripped": m.tripped,
+                "trips": m.trips,
+                "clears": m.clears,
+                "last_reasons": None if m.last is None else m.last.reasons,
+                "crc_failures": m.crc.failures,
+            }
+            for m in (bank.monitor(k) for k in range(CARRIERS))
+        ]
+
+    def test_health_bank_sees_identical_deliveries(self):
+        """The FDIR detection path cannot tell the backends apart."""
+        banks = {}
+        for label, executor in (
+            ("inline", None),
+            ("threads", CarrierExecutor("threads", 2)),
+        ):
+            payload = _build(executor)
+            bank = HealthMonitorBank(CARRIERS)
+            payload.attach_health(bank)
+            wide = _uplink(payload)
+            payload.process_uplink(wide, decode=True)  # clean frame
+            payload.demods[0].unload()  # then carrier 0 dies
+            for _ in range(3):
+                payload.process_uplink(wide, decode=True)
+            banks[label] = self._monitor_state(bank)
+            if payload.executor is not None:
+                payload.executor.close()
+        assert banks["inline"] == banks["threads"]
+        # and the faulty carrier's monitor really saw the fault
+        assert banks["threads"][0]["unhealthy"] == 3
+        assert banks["threads"][0]["last_reasons"] == ("equipment_failed",)
+
+
+class TestScenarioDeterminism:
+    def _spec(self, **kw) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="parallel-equivalence", frames=5, recovery_tail=2, **kw
+        )
+
+    def test_trace_hash_identical_across_executor_specs(self):
+        """The executor knob moves wall-clock only, never the trace."""
+        ref = run_scenario(self._spec())
+        for executor in (
+            ExecutorSpec(backend="serial"),
+            ExecutorSpec(backend="threads", workers=1),
+            ExecutorSpec(backend="threads", workers=2),
+        ):
+            out = run_scenario(self._spec(executor=executor))
+            assert out.trace_hash == ref.trace_hash, executor
+            assert out.kind_counts == ref.kind_counts
+            assert out.metrics == ref.metrics
+
+    def test_spec_hash_unperturbed_by_the_new_field(self):
+        """Pre-existing golden spec hashes cannot drift: ``executor``
+        is omitted from the canonical JSON at its default."""
+        spec = self._spec()
+        assert "executor" not in spec.to_dict()
+        assert spec.spec_hash() == ScenarioSpec.from_dict(spec.to_dict()).spec_hash()
+        # old-style serialized specs (no executor key) still load
+        legacy = spec.to_dict()
+        assert ScenarioSpec.from_dict(legacy) == spec
+
+    def test_executor_spec_roundtrip_and_validation(self):
+        spec = self._spec(executor=ExecutorSpec(backend="threads", workers=2))
+        d = spec.to_dict()
+        assert d["executor"] == {"backend": "threads", "workers": 2}
+        assert ScenarioSpec.from_dict(d) == spec
+        assert spec.spec_hash() != self._spec().spec_hash()
+        with pytest.raises(ScenarioError, match="executor.backend"):
+            self._spec(executor=ExecutorSpec(backend="mpi")).validate()
+        with pytest.raises(ScenarioError, match="executor.workers"):
+            self._spec(
+                executor=ExecutorSpec(backend="threads", workers=0)
+            ).validate()
+
+
+class TestWorldBuilderKnob:
+    def test_executor_accepts_instance_or_backend_name(self):
+        world = build_traffic_world(seed=5, executor="threads")
+        assert isinstance(world.payload.executor, CarrierExecutor)
+        assert world.payload.executor.backend == "threads"
+        world.payload.executor.close()
+
+        ex = CarrierExecutor("serial")
+        world = build_traffic_world(seed=5, executor=ex)
+        assert world.payload.executor is ex
+
+    def test_default_world_is_untouched(self):
+        assert build_traffic_world(seed=5).payload.executor is None

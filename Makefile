@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-overload test-perf test-parallel test-scenarios test-dtn all
+.PHONY: install test bench bench-verbose examples fast-test test-obs test-robustness test-fdir test-overload test-perf test-parallel test-cdma-perf test-scenarios test-dtn all
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -30,6 +30,9 @@ test-perf:  ## batched burst-processing throughput baseline (prints bursts/sec t
 
 test-parallel:  ## carrier-parallel uplink engine: executor equivalence suite + serial-vs-threads speedup gate
 	$(PYTHON) -m pytest -m parallel tests/ benchmarks/bench_perf_uplink_parallel.py -s
+
+test-cdma-perf:  ## batched CDMA return-link engine: equivalence suite + bursts/sec speedup gates
+	$(PYTHON) -m pytest -m perf tests/dsp/test_cdma_batch_equivalence.py benchmarks/bench_perf_cdma_batch.py -s
 
 test-scenarios:  ## mission-scenario conformance: golden corpus, differential oracles, seeded soak sweeps
 	$(PYTHON) -m pytest -m scenario tests/scenarios/

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict
 import numpy as np
 
 __all__ = [
+    "array_cache_key",
     "cached_design",
     "clear_design_caches",
     "design_cache_stats",
@@ -51,6 +52,19 @@ def freeze(arr: np.ndarray) -> np.ndarray:
     arr = np.ascontiguousarray(arr)
     arr.setflags(write=False)
     return arr
+
+
+def array_cache_key(arr: np.ndarray) -> tuple:
+    """Hashable content-addressed key for a numpy array.
+
+    ``lru_cache`` needs hashable arguments, but some design tables are
+    keyed by an array's *contents* (e.g. the conj-FFT acquisition table
+    of a spreading code).  The key is ``(shape, dtype, raw bytes)``, so
+    two arrays with equal contents share one cache entry and the cached
+    function can reconstruct the array with ``np.frombuffer``.
+    """
+    arr = np.ascontiguousarray(arr)
+    return (arr.shape, arr.dtype.str, arr.tobytes())
 
 
 def cached_design(name: str, maxsize: int = 128) -> Callable:

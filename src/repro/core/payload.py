@@ -416,6 +416,68 @@ class RegenerativePayload:
             return np.zeros(n, dtype=np.uint8), {"equipment_failed": str(exc)}
         return res["bits"], {key: res[key] for key in res if key != "bits"}
 
+    def process_return_link(
+        self,
+        samples: np.ndarray,
+        num_users: int,
+        num_bits: int = 128,
+        carrier: int = 0,
+    ) -> Dict[str, object]:
+        """Demodulate a multi-user CDMA return-link composite in one pass.
+
+        The CDMA personality's multi-user front door: ``samples`` is one
+        composite waveform carrying ``num_users`` code-multiplexed users
+        (consecutive OVSF branches above the loaded modem's
+        ``code_index``), and the whole bank is demodulated through the
+        batched return-link engine -- the matched filter runs once,
+        acquisition is one FFT pass over all user codes, and tracking /
+        despreading run in ``U``-wide lock-step
+        (:class:`~repro.dsp.cdma.CdmaReturnBank`).  Per-user results are
+        bit-identical to running each user's scalar ``receive`` on the
+        same composite.
+
+        Requires the carrier's demod to carry a CDMA personality
+        (``modem.cdma``).  Equipment faults are contained exactly like
+        :meth:`_demod_carrier`: a dead demodulator silences every user
+        of its carrier and reports a diagnostic instead of raising.
+        With an attached health bank, each user's diagnostics are
+        delivered as ``observe_burst(user_index, diag)`` -- the same
+        FDIR detection stream the scalar path produces.
+
+        Returns ``{"bits": [per-user bits], "diagnostics": [per-user
+        diagnostic dicts]}``.
+        """
+        from ..dsp.cdma import CdmaReturnBank
+        from .equipment import EquipmentError
+
+        if not 0 <= carrier < len(self.demods):
+            raise ValueError(f"carrier {carrier} out of range")
+        eq = self.demods[carrier]
+        try:
+            modem = eq.behaviour()
+            if hasattr(modem, "bits_per_burst") or not hasattr(modem, "config"):
+                raise TypeError(
+                    "process_return_link needs a CDMA personality "
+                    f"(modem.cdma); carrier {carrier} carries "
+                    f"{type(modem).__name__}"
+                )
+            bank = CdmaReturnBank.for_users(num_users, modem.config)
+            results = bank.receive(np.asarray(samples), num_bits)
+        except EquipmentError as exc:
+            zeros = np.zeros(num_bits, dtype=np.uint8)
+            results = None
+            out_bits = [zeros.copy() for _ in range(num_users)]
+            diags: List[dict] = [
+                {"equipment_failed": str(exc)} for _ in range(num_users)
+            ]
+        if results is not None:
+            out_bits = [r["bits"] for r in results]
+            diags = [{key: r[key] for key in r if key != "bits"} for r in results]
+        if self.health is not None:
+            for u, diag in enumerate(diags):
+                self.health.observe_burst(u, diag)
+        return {"bits": out_bits, "diagnostics": diags}
+
     def _decode_uplink_blocks(self, diags: List[dict]) -> List[Optional[dict]]:
         """Batched regeneration of all carriers' transport blocks.
 

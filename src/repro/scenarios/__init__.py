@@ -30,6 +30,7 @@ from .corpus import (
 )
 from .oracles import (
     BatchScalarDecodeOracle,
+    CdmaBatchScalarOracle,
     ModemABOracle,
     OracleReport,
     VcModeOracle,
@@ -52,6 +53,7 @@ from .spec import (
 
 __all__ = [
     "BatchScalarDecodeOracle",
+    "CdmaBatchScalarOracle",
     "ContactSchedule",
     "ExecutorSpec",
     "FadeSegment",

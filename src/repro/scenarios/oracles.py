@@ -7,6 +7,9 @@ semantics are supposed to coincide and reports whether they did:
   (``process_uplink(decode=True)``, the PR-4 hot path) against an
   independent scalar re-derivation (per-carrier soft demap +
   ``decode_block``) for each decoder personality;
+- :class:`CdmaBatchScalarOracle` -- the batched CDMA return-link
+  engine (``CdmaReturnBank`` / ``receive_batch``) against per-user
+  scalar ``receive`` calls, exact to the float;
 - :class:`ModemABOracle` -- the baseline MF-TDMA modem against the
   CFO-tolerant personality on a clean channel, where their semantics
   overlap exactly (same burst format, same QPSK mapping);
@@ -35,6 +38,7 @@ from ..sim import RngRegistry, Simulator, derive_seed
 __all__ = [
     "OracleReport",
     "BatchScalarDecodeOracle",
+    "CdmaBatchScalarOracle",
     "ModemABOracle",
     "VcModeOracle",
     "run_default_oracles",
@@ -160,6 +164,101 @@ class BatchScalarDecodeOracle:
         return _report(self.name, cases, mismatches)
 
 
+class CdmaBatchScalarOracle:
+    """Batched CDMA return-link engine vs scalar per-user demodulation.
+
+    Two comparisons, both required to be **exact** (same floats, same
+    bits, same diagnostics -- the engine's batched==scalar-by-
+    construction contract, not a tolerance):
+
+    1. a :class:`~repro.dsp.cdma.CdmaReturnBank` demodulating U
+       code-multiplexed users from one noisy composite, against each
+       user's scalar :meth:`~repro.dsp.cdma.CdmaModem.receive` on the
+       same composite samples;
+    2. :meth:`~repro.dsp.cdma.CdmaModem.receive_batch` on a stack of
+       independent bursts, against :meth:`receive` row by row.
+    """
+
+    name = "modem.cdma.batch-vs-scalar"
+
+    _DIAG_SCALARS = ("phase", "acq_metric", "carrier_lock", "snr_db")
+
+    def __init__(self, seed: int = 0, num_users: int = 4, num_bits: int = 128) -> None:
+        self.seed = seed
+        self.num_users = num_users
+        self.num_bits = num_bits
+
+    @classmethod
+    def _diff(cls, got: dict, ref: dict, label: str) -> List[str]:
+        out: List[str] = []
+        for key in ("bits", "symbols", "dll_tau"):
+            if not np.array_equal(got[key], ref[key]):
+                out.append(f"{label}: {key} differ between batched and scalar")
+        for key in cls._DIAG_SCALARS:
+            if got[key] != ref[key]:
+                out.append(f"{label}: diagnostic {key} differs")
+        ga, ra = got["acquisition"], ref["acquisition"]
+        if (ga.phase, ga.metric, ga.mean_level, ga.detected) != (
+            ra.phase,
+            ra.metric,
+            ra.mean_level,
+            ra.detected,
+        ):
+            out.append(f"{label}: acquisition result differs")
+        return out
+
+    def run(self) -> OracleReport:
+        from ..dsp.cdma import CdmaConfig, CdmaModem, CdmaReturnBank
+
+        rngs = RngRegistry(derive_seed(self.seed, "oracle", "cdma"))
+        mismatches: List[str] = []
+        cases = 0
+
+        # 1. multi-user bank vs per-user scalar on one composite
+        bank = CdmaReturnBank.for_users(
+            self.num_users, CdmaConfig(sf=32, code_index=3)
+        )
+        sent = [
+            rngs.stream(f"user{u}").integers(0, 2, self.num_bits).astype(np.uint8)
+            for u in range(self.num_users)
+        ]
+        composite = bank.transmit(sent)
+        noise = rngs.stream("channel")
+        composite = composite + 0.05 * (
+            noise.standard_normal(len(composite))
+            + 1j * noise.standard_normal(len(composite))
+        )
+        banked = bank.receive(composite, self.num_bits)
+        for u in range(self.num_users):
+            cases += 1
+            scalar = bank.modems[u].receive(composite, self.num_bits)
+            mismatches.extend(self._diff(banked[u], scalar, f"bank u{u}"))
+            if not np.array_equal(banked[u]["bits"], sent[u]):
+                mismatches.append(f"bank u{u}: recovered bits differ from sent")
+
+        # 2. burst-stack receive_batch vs per-row scalar receive
+        modem = CdmaModem(CdmaConfig(sf=16))
+        bursts = []
+        for b in range(self.num_users):
+            bits = rngs.stream(f"burst{b}").integers(
+                0, 2, self.num_bits
+            ).astype(np.uint8)
+            tx = modem.transmit(bits)
+            n = rngs.stream(f"bnoise{b}")
+            bursts.append(
+                tx
+                + 0.08
+                * (n.standard_normal(len(tx)) + 1j * n.standard_normal(len(tx)))
+            )
+        stack = np.stack(bursts)
+        batched = modem.receive_batch(stack, self.num_bits)
+        for b in range(len(bursts)):
+            cases += 1
+            scalar = modem.receive(bursts[b], self.num_bits)
+            mismatches.extend(self._diff(batched[b], scalar, f"burst {b}"))
+        return _report(self.name, cases, mismatches)
+
+
 class ModemABOracle:
     """Baseline vs CFO-tolerant modem personality on a clean channel."""
 
@@ -260,6 +359,7 @@ def run_default_oracles(seed: int = 0) -> List[OracleReport]:
     """Run every oracle at ``seed``; all must agree on a healthy tree."""
     return [
         BatchScalarDecodeOracle(seed).run(),
+        CdmaBatchScalarOracle(seed).run(),
         ModemABOracle(seed).run(),
         VcModeOracle(seed).run(),
     ]

@@ -6,6 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dsp.cdma import (
+    _GOLD_PAIR_TAPS,
+    _PRIMITIVE_TAPS,
     CdmaConfig,
     CdmaModem,
     Dll,
@@ -64,6 +66,97 @@ class TestSequences:
             ovsf_code(6, 0)
         with pytest.raises(ValueError):
             ovsf_code(8, 8)
+
+
+class TestSequenceVectorization:
+    """The chunked-recurrence LFSR must equal a chip-at-a-time register."""
+
+    @staticmethod
+    def _scalar_lfsr(degree, taps):
+        state = np.ones(degree, dtype=np.uint8)
+        length = 2**degree - 1
+        out = np.empty(length, dtype=np.uint8)
+        for i in range(length):
+            out[i] = state[-1]
+            fb = 0
+            for t in taps:
+                fb ^= state[t - 1]
+            state[1:] = state[:-1]
+            state[0] = fb
+        return (1 - 2 * out.astype(np.int64)).astype(np.int8)
+
+    @pytest.mark.parametrize("deg", sorted(_PRIMITIVE_TAPS))
+    def test_matches_scalar_register_primitive(self, deg):
+        np.testing.assert_array_equal(
+            m_sequence(deg), self._scalar_lfsr(deg, _PRIMITIVE_TAPS[deg])
+        )
+
+    @pytest.mark.parametrize("deg", sorted(_GOLD_PAIR_TAPS))
+    def test_matches_scalar_register_gold_pair(self, deg):
+        np.testing.assert_array_equal(
+            m_sequence(deg, _GOLD_PAIR_TAPS[deg]),
+            self._scalar_lfsr(deg, _GOLD_PAIR_TAPS[deg]),
+        )
+
+    def test_bad_taps_rejected(self):
+        with pytest.raises(ValueError):
+            m_sequence(5, (5, 7))
+        with pytest.raises(ValueError):
+            m_sequence(5, (0, 2))
+
+
+class TestDesignCacheRegistration:
+    """Code tables live in the repro.caching registry as frozen arrays."""
+
+    TABLES = (
+        "cdma.m_sequence",
+        "cdma.gold_code",
+        "cdma.ovsf_code",
+        "cdma.spreading_code",
+        "cdma.acq_code_fft",
+    )
+
+    def test_all_tables_registered(self):
+        from repro.caching import design_cache_stats
+
+        # derive one of each so every cache has been touched
+        m_sequence(5)
+        gold_code(5)
+        ovsf_code(8, 1)
+        code = CdmaConfig(sf=8).spreading_code()
+        acquire(np.tile(code.astype(complex), 2), code)
+        stats = design_cache_stats()
+        for name in self.TABLES:
+            assert name in stats, name
+            assert stats[name]["currsize"] >= 1, name
+
+    def test_tables_are_frozen(self):
+        for arr in (
+            m_sequence(7),
+            gold_code(7, 2),
+            ovsf_code(16, 3),
+            CdmaConfig(sf=16).spreading_code(),
+        ):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
+    def test_repeat_calls_hit_the_cache(self):
+        from repro.caching import design_cache_stats
+
+        a = gold_code(9, 17)
+        before = design_cache_stats()["cdma.gold_code"]["hits"]
+        b = gold_code(9, 17)
+        after = design_cache_stats()["cdma.gold_code"]["hits"]
+        assert a is b  # the same frozen object, not a copy
+        assert after == before + 1
+
+    def test_acq_fft_keyed_by_content(self):
+        """Two equal-content code arrays share one conj-FFT table."""
+        from repro.dsp.cdma import _acq_code_fft
+
+        code = CdmaConfig(sf=16).spreading_code()
+        assert _acq_code_fft(code) is _acq_code_fft(code.copy())
 
 
 class TestSpreadDespread:
@@ -189,6 +282,54 @@ class TestDll:
             Dll(code, sps=1)
         with pytest.raises(ValueError):
             Dll(code, sps=4, delta=3.0)
+
+    def test_truncated_burst_raises_instead_of_clipping(self):
+        """Regression: strobes off the buffer end must raise, not clip.
+
+        ``_despread_at`` used to clip the interpolation base into
+        ``[0, len(x) - 2]``, so a strobe grid running past the end of a
+        truncated burst silently correlated against dozens of copies of
+        the edge sample -- a corrupted symbol presented as a valid one.
+        The kernel now validates the required span up front.
+        """
+        code = CdmaConfig(sf=16).spreading_code()
+        dll = Dll(code, sps=4, gain=0.0)
+        # 16 chips x 4 sps = 64 samples needed (+1 interpolator tap)
+        with pytest.raises(ValueError, match="outside the"):
+            dll._despread_at(np.ones(40, dtype=complex), 0.0)
+        with pytest.raises(ValueError, match="outside the"):
+            dll.process(np.ones(100, dtype=complex), 0.0, 2)
+        # negative start positions are just as invalid
+        with pytest.raises(ValueError, match="outside the"):
+            dll._despread_at(np.ones(100, dtype=complex), -1.0)
+        # exactly enough samples is fine
+        out = dll._despread_at(np.ones(66, dtype=complex), 0.0)
+        assert np.isfinite(out.real)
+
+    def test_receive_pads_legitimate_tail_strobes(self):
+        """A full burst whose last strobes land in the filter tail must
+        still demodulate: the receive path zero-pads the matched filter
+        output instead of tripping the span check (only a genuinely
+        truncated burst raises)."""
+        reg = RngRegistry(seed=21)
+        cm = CdmaModem(CdmaConfig(sf=32))
+        bits = reg.stream("b").integers(0, 2, 256).astype(np.uint8)
+        tx = cm.transmit(bits)
+        # a large delay pushes the settled strobe grid into the tail
+        ch = SatelliteChannel(
+            snr_sigma=0.05,
+            delay=29 * cm.config.chip_sps,
+            rng=reg.stream("n"),
+        )
+        out = cm.receive(ch.apply(tx), 256)
+        assert np.mean(out["bits"] != bits) < 0.01
+
+    def test_receive_rejects_truncated_burst(self):
+        cm = CdmaModem(CdmaConfig(sf=16))
+        bits = np.zeros(64, dtype=np.uint8)
+        tx = cm.transmit(bits)
+        with pytest.raises(ValueError):
+            cm.receive(tx[: len(tx) // 3], 64)
 
 
 class TestCdmaModemChain:

@@ -1,0 +1,256 @@
+"""Property tests: the batched CDMA return-link engine == the scalar path.
+
+The engine (docs/performance.md) follows the batch-as-the-primitive
+discipline: ``CdmaModem.receive`` delegates to ``receive_batch`` and
+``acquire`` to ``acquire_bank``, so there is exactly one kernel.  What
+*can* still break the contract is batch-shape dependence inside the
+kernels (a BLAS reduction that reassociates differently for ``(64, sf)``
+than for ``(1, sf)``, a broadcast path taken only for ``B > 1``).  These
+tests therefore compare multi-row calls against one-row calls -- which
+must be **float-identical**, not merely close -- across spreading
+factors, oversampling ratios, rake finger counts and the degenerate
+corners (undetected acquisition on pure noise, a single-symbol payload,
+all-zero bits).
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.cdma import (
+    CdmaConfig,
+    CdmaModem,
+    CdmaReturnBank,
+    Dll,
+    RakeReceiver,
+    acquire,
+    acquire_bank,
+)
+
+pytestmark = pytest.mark.perf
+
+DIAG_SCALARS = ("phase", "acq_metric", "carrier_lock", "snr_db")
+
+
+def _rng(*parts) -> np.random.Generator:
+    return np.random.default_rng(zlib.crc32(":".join(map(str, parts)).encode()))
+
+
+def _noisy_stack(modem, rng, nb, num_bits, sigma):
+    bursts, sent = [], []
+    for _ in range(nb):
+        bits = rng.integers(0, 2, num_bits).astype(np.uint8)
+        tx = modem.transmit(bits)
+        noise = sigma * (
+            rng.standard_normal(len(tx)) + 1j * rng.standard_normal(len(tx))
+        )
+        bursts.append(tx + noise)
+        sent.append(bits)
+    return np.stack(bursts), sent
+
+
+def _assert_result_identical(got: dict, ref: dict) -> None:
+    """Batched and scalar receive results must be float-identical."""
+    np.testing.assert_array_equal(got["bits"], ref["bits"])
+    np.testing.assert_array_equal(got["symbols"], ref["symbols"])
+    np.testing.assert_array_equal(got["dll_tau"], ref["dll_tau"])
+    for key in DIAG_SCALARS:
+        assert got[key] == ref[key], key
+    ga, ra = got["acquisition"], ref["acquisition"]
+    assert (ga.phase, ga.metric, ga.mean_level, ga.detected) == (
+        ra.phase,
+        ra.metric,
+        ra.mean_level,
+        ra.detected,
+    )
+    np.testing.assert_array_equal(ga.statistics, ra.statistics)
+
+
+class TestReceiveBatchEquivalence:
+    @pytest.mark.parametrize("sf", [8, 16, 64])
+    @pytest.mark.parametrize("chip_sps", [2, 4])
+    def test_stack_matches_per_row(self, sf, chip_sps):
+        modem = CdmaModem(CdmaConfig(sf=sf, chip_sps=chip_sps))
+        rng = _rng("stack", sf, chip_sps)
+        stack, sent = _noisy_stack(modem, rng, nb=5, num_bits=64, sigma=0.1)
+        batched = modem.receive_batch(stack, 64)
+        for i in range(len(stack)):
+            _assert_result_identical(batched[i], modem.receive(stack[i], 64))
+        # the scenario really decodes at these operating points
+        for i, bits in enumerate(sent):
+            np.testing.assert_array_equal(batched[i]["bits"], bits)
+
+    @given(
+        sf=st.sampled_from([8, 16, 64]),
+        chip_sps=st.sampled_from([2, 4]),
+        nb=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_hypothesis_sweep(self, sf, chip_sps, nb, seed):
+        modem = CdmaModem(CdmaConfig(sf=sf, chip_sps=chip_sps))
+        rng = _rng("hyp", sf, chip_sps, nb, seed)
+        stack, _ = _noisy_stack(modem, rng, nb=nb, num_bits=32, sigma=0.2)
+        batched = modem.receive_batch(stack, 32)
+        for i in range(nb):
+            _assert_result_identical(batched[i], modem.receive(stack[i], 32))
+
+    def test_undetected_acquisition_at_low_snr(self):
+        """Pure noise: acquisition must report undetected, identically."""
+        modem = CdmaModem(CdmaConfig(sf=16))
+        rng = _rng("noise-only")
+        n = modem.num_tx_samples(64)
+        stack = 0.3 * (
+            rng.standard_normal((3, n)) + 1j * rng.standard_normal((3, n))
+        )
+        batched = modem.receive_batch(stack, 64)
+        for i in range(3):
+            scalar = modem.receive(stack[i], 64)
+            assert not scalar["acquisition"].detected
+            _assert_result_identical(batched[i], scalar)
+
+    def test_single_symbol_payload(self):
+        """num_bits == bits_per_symbol: one data symbol, snr_db is None."""
+        modem = CdmaModem(CdmaConfig(sf=8))
+        rng = _rng("single-sym")
+        stack, sent = _noisy_stack(modem, rng, nb=3, num_bits=2, sigma=0.05)
+        batched = modem.receive_batch(stack, 2)
+        for i in range(3):
+            scalar = modem.receive(stack[i], 2)
+            assert scalar["snr_db"] is None
+            _assert_result_identical(batched[i], scalar)
+            np.testing.assert_array_equal(batched[i]["bits"], sent[i])
+
+    def test_all_zero_bits(self):
+        """A constant payload leaves no symbol transitions to lean on."""
+        modem = CdmaModem(CdmaConfig(sf=16))
+        rng = _rng("zeros")
+        zeros = np.zeros(64, dtype=np.uint8)
+        tx = modem.transmit(zeros)
+        stack = np.stack(
+            [
+                tx
+                + 0.05
+                * (
+                    rng.standard_normal(len(tx))
+                    + 1j * rng.standard_normal(len(tx))
+                )
+                for _ in range(3)
+            ]
+        )
+        batched = modem.receive_batch(stack, 64)
+        for i in range(3):
+            _assert_result_identical(batched[i], modem.receive(stack[i], 64))
+            np.testing.assert_array_equal(batched[i]["bits"], zeros)
+
+    def test_batch_shape_invariance(self):
+        """The same burst in a B=1 and a B=7 stack: identical floats."""
+        modem = CdmaModem(CdmaConfig(sf=16))
+        rng = _rng("shape-invariance")
+        stack, _ = _noisy_stack(modem, rng, nb=7, num_bits=64, sigma=0.1)
+        wide = modem.receive_batch(stack, 64)
+        for i in range(7):
+            narrow = modem.receive_batch(stack[i : i + 1], 64)[0]
+            _assert_result_identical(wide[i], narrow)
+
+
+class TestAcquireBankEquivalence:
+    @pytest.mark.parametrize("sf", [8, 16, 64])
+    def test_bank_matches_per_code(self, sf):
+        rng = _rng("acq", sf)
+        codes = np.stack(
+            [
+                CdmaConfig(sf=sf, scrambling_shift=u).spreading_code()
+                for u in range(4)
+            ]
+        )
+        chips = np.tile(codes[1].astype(np.complex128), 4)
+        chips = chips + 0.2 * (
+            rng.standard_normal(len(chips)) + 1j * rng.standard_normal(len(chips))
+        )
+        banked = acquire_bank(chips, codes, coherent_symbols=4)
+        for u in range(4):
+            single = acquire(chips, codes[u], coherent_symbols=4)
+            assert banked[u].phase == single.phase
+            assert banked[u].metric == single.metric
+            assert banked[u].mean_level == single.mean_level
+            assert banked[u].detected == single.detected
+            np.testing.assert_array_equal(
+                banked[u].statistics, single.statistics
+            )
+
+    def test_rotated_code_found_at_right_phase(self):
+        code = CdmaConfig(sf=32).spreading_code()
+        rx = np.tile(np.roll(code, 7).astype(np.complex128), 6)
+        res = acquire_bank(rx, code[None, :], coherent_symbols=6)[0]
+        assert res.detected and res.phase == 7
+
+
+class TestRakeGemmEquivalence:
+    @pytest.mark.parametrize("num_fingers", [1, 2, 3, 4])
+    def test_gemm_matches_naive_interpolation(self, num_fingers):
+        """despread_fingers == an independent per-symbol reimplementation."""
+        sf, sps, nsym = 16, 4, 12
+        code = CdmaConfig(sf=sf).spreading_code()
+        rng = _rng("rake", num_fingers)
+        n = (nsym + sf) * sf * sps
+        mf = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        rake = RakeReceiver(code, sps=sps, max_fingers=num_fingers)
+        rake.finger_phases = list(range(num_fingers))
+        base = 11.0
+        got = rake.despread_fingers(mf, base, nsym)
+        assert got.shape == (num_fingers, nsym)
+        for f, phase in enumerate(rake.finger_phases):
+            for k in range(nsym):
+                start = base + phase * sps + k * sf * sps
+                idx = start + np.arange(sf) * sps
+                lo = np.floor(idx).astype(np.int64)
+                frac = idx - lo
+                samples = mf[lo] * (1.0 - frac) + mf[lo + 1] * frac
+                ref = np.sum(samples * code) / sf
+                assert got[f, k] == complex(ref)
+
+    def test_scalar_dll_settled_matches_kernel(self):
+        """Dll(gain=0).process goes through the same settled kernel."""
+        sf, sps, nsym = 8, 4, 6
+        code = CdmaConfig(sf=sf).spreading_code()
+        rng = _rng("dll-settled")
+        n = (nsym + 2) * sf * sps
+        mf = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        dll = Dll(code, sps=sps, gain=0.0)
+        out = dll.process(mf, 3.0, nsym)
+        rake = RakeReceiver(code, sps=sps)
+        rake.finger_phases = [0]
+        np.testing.assert_array_equal(out, rake.despread_fingers(mf, 3.0, nsym)[0])
+
+
+class TestReturnBankEquivalence:
+    @pytest.mark.parametrize("users", [1, 2, 4])
+    def test_bank_matches_per_user_scalar(self, users):
+        bank = CdmaReturnBank.for_users(users, CdmaConfig(sf=32))
+        rng = _rng("bank", users)
+        sent = [rng.integers(0, 2, 64).astype(np.uint8) for _ in range(users)]
+        comp = bank.transmit(sent)
+        comp = comp + 0.05 * (
+            rng.standard_normal(len(comp)) + 1j * rng.standard_normal(len(comp))
+        )
+        banked = bank.receive(comp, 64)
+        for u in range(users):
+            _assert_result_identical(banked[u], bank.modems[u].receive(comp, 64))
+            np.testing.assert_array_equal(banked[u]["bits"], sent[u])
+
+    def test_mismatched_front_ends_rejected(self):
+        with pytest.raises(ValueError):
+            CdmaReturnBank([CdmaConfig(sf=16), CdmaConfig(sf=32)])
+        with pytest.raises(ValueError):
+            CdmaReturnBank([])
+        with pytest.raises(ValueError):
+            CdmaReturnBank.for_users(0)
+
+    def test_bank_rejects_burst_stacks(self):
+        bank = CdmaReturnBank.for_users(2, CdmaConfig(sf=16))
+        with pytest.raises(ValueError):
+            bank.receive(np.zeros((2, 4096), dtype=complex), 16)

@@ -7,6 +7,7 @@ import pytest
 from repro.core.payload import RegenerativePayload
 from repro.scenarios import (
     BatchScalarDecodeOracle,
+    CdmaBatchScalarOracle,
     ModemABOracle,
     VcModeOracle,
     run_default_oracles,
@@ -17,7 +18,7 @@ pytestmark = pytest.mark.scenario
 
 def test_all_oracles_agree():
     reports = run_default_oracles(seed=3)
-    assert [r.agree for r in reports] == [True, True, True]
+    assert [r.agree for r in reports] == [True, True, True, True]
     for r in reports:
         assert r.cases > 0
         assert "agree" in str(r)
@@ -37,6 +38,31 @@ def test_vc_oracle_counts_every_sdu():
 def test_modem_ab_oracle_alone():
     rep = ModemABOracle(seed=2, trials=4).run()
     assert rep.agree and rep.cases == 4
+
+
+def test_cdma_oracle_alone():
+    rep = CdmaBatchScalarOracle(seed=4).run()
+    assert rep.agree and rep.cases == 8
+
+
+def test_rigged_cdma_scalar_disagreement_is_detected(monkeypatch):
+    """Corrupt the scalar receive path and the CDMA oracle must notice."""
+    from repro.dsp.cdma import CdmaModem
+
+    real = CdmaModem.receive
+
+    def corrupted(self, samples, num_bits):
+        out = dict(real(self, samples, num_bits))
+        bits = np.array(out["bits"], copy=True)
+        if len(bits):
+            bits[0] ^= 1
+        out["bits"] = bits
+        return out
+
+    monkeypatch.setattr(CdmaModem, "receive", corrupted)
+    rep = CdmaBatchScalarOracle(seed=0).run()
+    assert not rep.agree
+    assert "bits differ" in rep.detail
 
 
 def test_rigged_scalar_decode_disagreement_is_detected(monkeypatch):

@@ -1,0 +1,89 @@
+"""Tests for the design-cache registry (repro.caching)."""
+
+import numpy as np
+import pytest
+
+from repro.caching import (
+    array_cache_key,
+    cached_design,
+    design_cache_stats,
+    freeze,
+)
+
+
+class TestArrayCacheKey:
+    def test_equal_contents_equal_keys(self):
+        a = np.arange(6, dtype=np.float64)
+        b = np.arange(6, dtype=np.float64)
+        assert array_cache_key(a) == array_cache_key(b)
+        assert hash(array_cache_key(a)) == hash(array_cache_key(b))
+
+    def test_shape_distinguished(self):
+        a = np.zeros(4)
+        b = np.zeros((2, 2))
+        assert array_cache_key(a) != array_cache_key(b)
+
+    def test_dtype_distinguished(self):
+        a = np.zeros(4, dtype=np.float64)
+        b = np.zeros(4, dtype=np.complex128)
+        assert array_cache_key(a) != array_cache_key(b)
+
+    def test_contents_distinguished(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0, 3.0])
+        assert array_cache_key(a) != array_cache_key(b)
+
+    def test_noncontiguous_input_keyed_by_logical_contents(self):
+        base = np.arange(10, dtype=np.float64)
+        view = base[::2]
+        assert array_cache_key(view) == array_cache_key(view.copy())
+
+    def test_key_reconstructs_array(self):
+        arr = np.arange(12, dtype=np.int8).reshape(3, 4)
+        shape, dtype, raw = array_cache_key(arr)
+        back = np.frombuffer(raw, dtype=dtype).reshape(shape)
+        np.testing.assert_array_equal(back, arr)
+
+
+class TestRegistry:
+    def test_frozen_arrays_reject_mutation(self):
+        arr = freeze(np.ones(4))
+        with pytest.raises(ValueError):
+            arr[0] = 2.0
+
+    def test_duplicate_name_rejected(self):
+        @cached_design("test.caching.dup", maxsize=2)
+        def _a(x):
+            return x
+
+        with pytest.raises(ValueError):
+
+            @cached_design("test.caching.dup", maxsize=2)
+            def _b(x):
+                return x
+
+    def test_stats_track_hits_and_misses(self):
+        @cached_design("test.caching.stats", maxsize=4)
+        def table(n):
+            return freeze(np.arange(n))
+
+        table(3)
+        table(3)
+        table(5)
+        info = design_cache_stats()["test.caching.stats"]
+        assert info["hits"] == 1
+        assert info["misses"] == 2
+        assert info["currsize"] == 2
+
+    def test_cdma_code_tables_registered_on_import(self):
+        from repro.dsp import cdma  # noqa: F401  (registers on import)
+
+        stats = design_cache_stats()
+        for name in (
+            "cdma.m_sequence",
+            "cdma.gold_code",
+            "cdma.ovsf_code",
+            "cdma.spreading_code",
+            "cdma.acq_code_fft",
+        ):
+            assert name in stats, name
